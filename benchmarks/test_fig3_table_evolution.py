@@ -1,0 +1,73 @@
+"""Fig. 3 — one table's implementation evolving across updates 1-5.
+
+Regenerates the figure as a transition table: for each control-plane
+update, the decision (recompile/forward) and the resulting implementation
+(removed / inlined / exact / ternary), checked against the paper's A-D.
+"""
+
+from conftest import heading, make_flay
+from repro.p4 import ast_nodes as ast
+from repro.runtime.entries import TableEntry, TernaryMatch
+from repro.runtime.semantics import DELETE, INSERT, Update
+
+FULL48 = (1 << 48) - 1
+
+
+def _impl(flay) -> str:
+    control = flay.specialized_program.find("Fig3Ingress")
+    table = None
+    for local in control.locals:
+        if isinstance(local, ast.TableDecl) and local.name == "eth_table":
+            table = local
+    if table is None:
+        text = flay.specialized_source()
+        if "hdr.eth.type = " in text:
+            return "inlined-action"
+        return "removed (impl A)"
+    kind = table.keys[0].match_kind
+    actions = ",".join(a.name for a in table.actions)
+    label = {"exact": "exact (impl B)", "ternary": "ternary (impl C/D)"}[kind]
+    return f"{label} actions=[{actions}]"
+
+
+STEPS = [
+    ("(2) insert [0x1/0x0] -> set(0x800)",
+     Update("eth_table", INSERT, TableEntry((TernaryMatch(0x1, 0x0),), "set", (0x800,), 10))),
+    ("(3a) delete entry 1",
+     Update("eth_table", DELETE, TableEntry((TernaryMatch(0x1, 0x0),), "set", (0x800,), 10))),
+    ("(3b) insert [0x2/full] -> set(0x900)",
+     Update("eth_table", INSERT, TableEntry((TernaryMatch(0x2, FULL48),), "set", (0x900,), 10))),
+    ("(4) insert [0x5/0x8] -> set(0x700)",
+     Update("eth_table", INSERT, TableEntry((TernaryMatch(0x5, 0x8),), "set", (0x700,), 9))),
+    ("(5) insert [0x6/0x7] -> set(0x200)",
+     Update("eth_table", INSERT, TableEntry((TernaryMatch(0x6, 0x7),), "set", (0x200,), 8))),
+]
+
+
+def test_fig3_evolution(benchmark, corpus_programs):
+    program = corpus_programs["fig3"]
+
+    def run_sequence():
+        flay = make_flay(program)
+        rows = [("(1) initial: empty table", None, _impl(flay))]
+        for label, update in STEPS:
+            decision = flay.process_update(update)
+            rows.append((label, decision, _impl(flay)))
+        return rows
+
+    rows = benchmark(run_sequence)
+    heading("Fig. 3: eth_table implementation across control-plane updates")
+    print(f"{'update':<40} {'decision':<10} implementation")
+    for label, decision, impl in rows:
+        verdict = "-" if decision is None else ("RECOMPILE" if decision.recompiled else "forward")
+        print(f"{label:<40} {verdict:<10} {impl}")
+
+    impls = [impl for _, _, impl in rows]
+    assert impls[0].startswith("removed")            # impl A
+    assert impls[1] == "inlined-action"              # inline set(0x800)
+    assert impls[3].startswith("exact")              # impl B
+    assert "drop" not in impls[3]                    # unused action removed
+    assert impls[4].startswith("ternary")            # impl C
+    assert impls[5] == impls[4]                      # impl D: unchanged
+    decisions = [d.recompiled for _, d, _ in rows[1:]]
+    assert decisions == [True, True, True, True, False]

@@ -1,0 +1,86 @@
+"""§4.2 "Can specialization save resources?" — SCION stage usage.
+
+Paper: the unspecialized SCION program needs the maximum number of Tofino-2
+stages; specialized against the supplied IPv4-only configuration it needs
+20% fewer; after enabling IPv6 it is back at the maximum.
+"""
+
+from conftest import heading, make_flay
+from repro.programs import registry, scion
+from repro.runtime.entries import ExactMatch, TableEntry
+from repro.runtime.fuzzer import EntryFuzzer
+from repro.runtime.semantics import INSERT, Update
+from repro.targets.tofino import TOFINO2, allocate
+
+
+def _ipv4_config(flay):
+    fuzzer = EntryFuzzer(flay.model, seed=7)
+    updates = [
+        Update(
+            "ScionIngress.underlay_map",
+            INSERT,
+            TableEntry((ExactMatch(0x0800),), "underlay_v4", ()),
+        )
+    ]
+    for table in scion.ipv4_config_tables():
+        updates.extend(fuzzer.representative_updates(table))
+    return updates
+
+
+def _ipv6_enable(flay):
+    fuzzer = EntryFuzzer(flay.model, seed=9)
+    updates = [
+        Update(
+            "ScionIngress.underlay_map",
+            INSERT,
+            TableEntry((ExactMatch(0x86DD),), "underlay_v6", ()),
+        )
+    ]
+    for table in scion.IPV6_ONLY_TABLES:
+        updates.extend(fuzzer.representative_updates(table))
+    return updates
+
+
+def test_scion_stage_savings(benchmark, corpus_programs):
+    program = corpus_programs["scion"]
+    flay = make_flay(program)
+    flay.process_batch(_ipv4_config(flay))
+
+    specialized_report = benchmark(allocate, flay.specialized_program)
+    original_report = allocate(program)
+
+    heading("§4.2: SCION stage usage on Tofino 2 (max = "
+            f"{TOFINO2.num_stages} stages)")
+    print(f"unspecialized:            {original_report.stages_used} stages")
+    print(f"IPv4-only specialized:    {specialized_report.stages_used} stages")
+    saving = 1 - specialized_report.stages_used / original_report.stages_used
+    print(f"saving:                   {saving:.0%}  (paper: 20%)")
+
+    assert original_report.stages_used == TOFINO2.num_stages
+    assert 0.15 <= saving <= 0.25
+
+    # Enable IPv6: all program paths used again -> back to the maximum.
+    decision = flay.process_batch(_ipv6_enable(flay))
+    assert decision.recompiled
+    restored = allocate(flay.specialized_program)
+    print(f"after enabling IPv6:      {restored.stages_used} stages")
+    assert restored.stages_used >= original_report.stages_used - 1
+
+
+def test_scion_specialization_report(benchmark, corpus_programs):
+    """What the IPv4-only specialization actually removed."""
+    program = corpus_programs["scion"]
+
+    def specialize():
+        flay = make_flay(program)
+        flay.process_batch(_ipv4_config(flay))
+        return flay
+
+    flay = benchmark.pedantic(specialize, rounds=1, iterations=1)
+    print("\n[§4.2] specializations applied:")
+    print("   ", flay.report.summary()[:400])
+    text = flay.specialized_source()
+    for dead in ("acl_v6", "ipv6_forward", "next_hop_mac_v6"):
+        assert dead not in text
+    for alive in ("acl_v4", "ipv4_forward", "hop_forward", "path_step3"):
+        assert alive in text

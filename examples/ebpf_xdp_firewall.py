@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Flay generalized to eBPF/XDP (§4: "we believe that Flay can generalize
+to packet-processing environments such as restricted C for eBPF").
+
+An XDP firewall/router whose control plane is its maps: a `blocked`
+hash map, a `routes` LPM map, and a `rate_limits` array map.  Map
+operations go through the bpf(2)-style API; Flay decides per operation
+whether the JIT'd program must change — the Morpheus use case, but
+incremental.
+
+Run:  python examples/ebpf_xdp_firewall.py
+"""
+
+from repro.ebpf import (
+    Assign,
+    EbpfFlay,
+    If,
+    Lookup,
+    Return,
+    XDP_DROP,
+    XDP_PASS,
+    XDP_REDIRECT,
+    XdpProgram,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print("#" * 70)
+    print(f"# {title}")
+    print("#" * 70)
+
+
+def build_program() -> XdpProgram:
+    prog = XdpProgram("xdp_router")
+    prog.hash_map("blocked", key=[("saddr", 32)], value=[("reason", 8)])
+    prog.lpm_map("routes", key=[("daddr", 32)], value=[("ifindex", 16)])
+    prog.array_map("rate_limits", key=[("qid", 8)], value=[("kbps", 32)], max_entries=16)
+    prog.body = [
+        If(
+            "ctx.ip.isValid()",
+            then=(
+                Lookup("blocked", ("ctx.ip.saddr",), hit=(Return(XDP_DROP),)),
+                Lookup(
+                    "rate_limits",
+                    ("ctx.ip.tos",),
+                    hit=(Assign("meta.rate_limits_kbps", "meta.rate_limits_kbps"),),
+                ),
+                Lookup(
+                    "routes",
+                    ("ctx.ip.daddr",),
+                    hit=(
+                        Assign("ctx.ip.ttl", "ctx.ip.ttl - 1"),
+                        Return(XDP_REDIRECT, "meta.routes_ifindex"),
+                    ),
+                    miss=(Return(XDP_PASS),),
+                ),
+            ),
+        ),
+    ]
+    return prog
+
+
+def show_body(flay: EbpfFlay) -> None:
+    text = flay.specialized_source()
+    start = text.index("control XdpMain")
+    end = text.index("Pipeline(")
+    print(text[start:end].rstrip())
+
+
+def main() -> None:
+    banner("Empty maps: the entire XDP body folds to `return XDP_PASS`")
+    flay = EbpfFlay(build_program())
+    show_body(flay)
+
+    banner("bpf_map_update_elem(blocked, 10.0.0.1): the drop path appears")
+    result = flay.map_update_elem("blocked", 0x0A000001, 1)
+    print(result.describe())
+    show_body(flay)
+
+    banner("More blocked IPs: forwarded without recompilation")
+    for ip in (0x0A000002, 0x0A000003, 0x0A000004):
+        result = flay.map_update_elem("blocked", ip, 1)
+        print(result.describe())
+
+    banner("First route (10.0.0.0/8 -> if3): the forwarding path appears")
+    result = flay.map_update_elem("routes", 0x0A000000, 3, prefix_len=8)
+    print(result.describe())
+    show_body(flay)
+
+    banner("A second route with a different ifindex: constant dematerialized")
+    result = flay.map_update_elem("routes", 0x0B000000, 4, prefix_len=8)
+    print(result.describe())
+
+    banner("Route churn from now on: pure forwards")
+    for i, prefix in enumerate((0x0C000000, 0x0D000000, 0x0E000000)):
+        result = flay.map_update_elem("routes", prefix, 4 + i, prefix_len=8)
+        print(result.describe())
+
+    banner("Deleting the last blocked IP... still cheap")
+    for ip in (0x0A000002, 0x0A000003, 0x0A000004):
+        result = flay.map_delete_elem("blocked", ip)
+        print(result.describe())
+    result = flay.map_delete_elem("blocked", 0x0A000001)
+    print(result.describe())
+    print("\n(the final delete empties the map: the drop path vanishes again)")
+    show_body(flay)
+
+    banner("Summary")
+    print(flay.summary())
+
+
+if __name__ == "__main__":
+    main()

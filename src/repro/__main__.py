@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``stats <prog.p4>`` — program metrics (statements, tables, paths).
+* ``analyze <prog.p4>`` — run the data-plane analysis, print point counts
+  and timings (optionally dump the annotated points).
+* ``specialize <prog.p4> [--config cfg.json]`` — specialize against a
+  JSON control-plane configuration and print (or write) the result.
+* ``compile <prog.p4> [--target tofino|bmv2]`` — device-compile and print
+  the resource/time report.
+* ``corpus`` — list the bundled evaluation programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze
+from repro.core import Flay, FlayOptions
+from repro.ir import measure
+from repro.p4.parser import parse_program
+from repro.p4.printer import print_program
+from repro.runtime import config as config_mod
+from repro.smt import to_string
+
+
+def _load_program(path: str):
+    if path.startswith("corpus:"):
+        from repro.programs import registry
+
+        return registry.load(path.split(":", 1)[1])
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def cmd_stats(args) -> int:
+    program = _load_program(args.program)
+    metrics = measure(program)
+    print(f"statements:     {metrics.statements}")
+    print(f"tables:         {metrics.tables}")
+    print(f"actions:        {metrics.actions}")
+    print(f"keys:           {metrics.keys}")
+    print(f"if statements:  {metrics.if_statements}")
+    print(f"parser states:  {metrics.parser_states}")
+    print(f"registers:      {metrics.registers}")
+    print(f"control paths:  {metrics.control_paths}")
+    print(f"mccabe:         {metrics.mccabe}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = _load_program(args.program)
+    model = analyze(program, skip_parser=args.skip_parser)
+    print(f"program points:   {model.point_count}")
+    print(f"tables:           {len(model.tables)}")
+    print(f"value sets:       {len(model.value_sets)}")
+    print(f"tainted symbols:  {len(model.taint)}")
+    print(f"expression nodes: {model.total_expression_size()}")
+    print(f"analysis time:    {model.analysis_seconds * 1000:.1f} ms")
+    if args.dump_points:
+        for pid, point in model.points.items():
+            print(f"\n[{point.kind}] {pid}")
+            print(f"    {to_string(point.expr, max_depth=12)}")
+    return 0
+
+
+def cmd_specialize(args) -> int:
+    program = _load_program(args.program)
+    options = FlayOptions(
+        target="none",
+        skip_parser=args.skip_parser,
+        effort=args.effort,
+    )
+    flay = Flay(program, options)
+    if args.config:
+        configuration = config_mod.load(args.config)
+        decision = flay.process_batch(configuration.updates())
+        print(f"# config: {decision.describe()}", file=sys.stderr)
+    print(f"# specializations: {flay.report.summary()}", file=sys.stderr)
+    text = flay.specialized_source()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.program)
+    if args.target == "tofino":
+        from repro.targets.tofino import TofinoCompiler
+
+        report = TofinoCompiler(program_name=args.program).compile(program)
+        print(report.describe())
+        if args.stages:
+            for stage in report.resources.stage_usages:
+                names = ", ".join(stage.tables[:6])
+                more = "..." if len(stage.tables) > 6 else ""
+                print(f"  stage {stage.index:>2}: {stage.table_count} tables, "
+                      f"{stage.gateways} gateways — {names}{more}")
+    else:
+        from repro.targets.bmv2 import Bmv2Compiler
+
+        report = Bmv2Compiler(program_name=args.program).compile(program)
+        print(report.describe())
+    return 0
+
+
+def cmd_corpus(_args) -> int:
+    from repro.programs import registry
+
+    print(f"{'name':<14} {'stmts':>6}  paper reference")
+    for name in sorted(registry.CORPUS):
+        entry = registry.get(name)
+        stmts = measure(entry.parse()).statements
+        notes = []
+        if entry.paper_statements:
+            notes.append(f"{entry.paper_statements} stmts")
+        if entry.paper_compile_seconds:
+            notes.append(f"{entry.paper_compile_seconds:g}s compile")
+        print(f"{name:<14} {stmts:>6}  {', '.join(notes) or '-'}")
+    print("\nuse `corpus:<name>` anywhere a program path is expected")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Flay: incremental specialization of network programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="program metrics")
+    p_stats.add_argument("program")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_analyze = sub.add_parser("analyze", help="run the data-plane analysis")
+    p_analyze.add_argument("program")
+    p_analyze.add_argument("--skip-parser", action="store_true")
+    p_analyze.add_argument("--dump-points", action="store_true")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_spec = sub.add_parser("specialize", help="specialize against a config")
+    p_spec.add_argument("program")
+    p_spec.add_argument("--config", help="JSON control-plane configuration")
+    p_spec.add_argument("--output", "-o", help="write the result here")
+    p_spec.add_argument("--skip-parser", action="store_true")
+    p_spec.add_argument(
+        "--effort", choices=("none", "dce", "full"), default="full"
+    )
+    p_spec.set_defaults(func=cmd_specialize)
+
+    p_compile = sub.add_parser("compile", help="device-compile a program")
+    p_compile.add_argument("program")
+    p_compile.add_argument("--target", choices=("tofino", "bmv2"), default="tofino")
+    p_compile.add_argument("--stages", action="store_true", help="per-stage detail")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_corpus = sub.add_parser("corpus", help="list bundled programs")
+    p_corpus.set_defaults(func=cmd_corpus)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Data-plane analysis: state-merging symbolic execution over the P4 AST."""
+
+from repro.analysis.model import (
+    DataPlaneModel,
+    KIND_ACTION_VALUE,
+    KIND_ASSIGN,
+    KIND_IF,
+    KIND_SELECT,
+    KIND_TABLE,
+    KeyInfo,
+    ProgramPoint,
+    TableInfo,
+    ValueSetInfo,
+)
+from repro.analysis.state import SymbolicStore, merge_stores
+from repro.analysis.symexec import (
+    DROP_PATH,
+    PARSER_ERROR_PATH,
+    VALID_SUFFIX,
+    AnalysisError,
+    SymbolicExecutor,
+    analyze,
+)

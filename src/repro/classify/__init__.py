@@ -1,0 +1,12 @@
+"""Packet-classification substrate: TCAM/STCAM/exact/LPM structures + chooser."""
+
+from repro.classify.chooser import ChoiceReport, ClassifierChooser, RulePattern
+from repro.classify.structures import (
+    Classifier,
+    ClassifierError,
+    ExactClassifier,
+    LpmTrieClassifier,
+    Rule,
+    StcamClassifier,
+    TcamClassifier,
+)

@@ -1,0 +1,114 @@
+"""Configuration-driven classifier selection.
+
+Given the rules actually installed by the control plane, pick the cheapest
+data structure that can represent them — the §3 packet-classification
+specialization.  An incremental compiler re-runs the choice only when the
+rule *pattern* changes (a new distinct mask appears, a mask disappears),
+not on every rule insert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.classify.structures import (
+    Classifier,
+    ClassifierError,
+    ExactClassifier,
+    LpmTrieClassifier,
+    Rule,
+    StcamClassifier,
+    TcamClassifier,
+)
+
+
+@dataclass(frozen=True)
+class RulePattern:
+    """The mask pattern of a rule set — the input to the structure choice."""
+
+    distinct_masks: int
+    all_exact: bool
+    all_prefix: bool
+    rule_count: int
+
+    @classmethod
+    def of(cls, rules: Iterable[Rule], width: int) -> "RulePattern":
+        rules = list(rules)
+        masks = {rule.mask for rule in rules}
+        return cls(
+            distinct_masks=len(masks),
+            all_exact=all(rule.is_exact(width) for rule in rules),
+            all_prefix=all(rule.is_prefix(width) for rule in rules),
+            rule_count=len(rules),
+        )
+
+
+@dataclass
+class ChoiceReport:
+    """Outcome of one structure selection."""
+
+    chosen: str
+    footprint_bits: int
+    alternatives: dict  # name → footprint bits (None if infeasible)
+    pattern: RulePattern
+
+    def savings_vs_tcam(self) -> float:
+        tcam = self.alternatives.get("tcam")
+        if not tcam:
+            return 0.0
+        return 1.0 - self.footprint_bits / tcam
+
+
+class ClassifierChooser:
+    """Builds every feasible structure and keeps the smallest."""
+
+    def __init__(self, width: int, stcam_max_masks: int = 16) -> None:
+        self.width = width
+        self.stcam_max_masks = stcam_max_masks
+
+    def candidates(self) -> list[Classifier]:
+        return [
+            ExactClassifier(self.width),
+            LpmTrieClassifier(self.width),
+            StcamClassifier(self.width, self.stcam_max_masks),
+            TcamClassifier(self.width),
+        ]
+
+    def choose(self, rules: Iterable[Rule]) -> tuple[Classifier, ChoiceReport]:
+        rules = list(rules)
+        pattern = RulePattern.of(rules, self.width)
+        alternatives: dict = {}
+        best: Optional[Classifier] = None
+        best_bits: Optional[int] = None
+        for candidate in self.candidates():
+            try:
+                candidate.install(rules)
+            except ClassifierError:
+                alternatives[candidate.name] = None
+                continue
+            bits = candidate.footprint_bits()
+            alternatives[candidate.name] = bits
+            if best_bits is None or bits < best_bits:
+                best, best_bits = candidate, bits
+        assert best is not None  # TCAM always succeeds
+        report = ChoiceReport(
+            chosen=best.name,
+            footprint_bits=best_bits or 0,
+            alternatives=alternatives,
+            pattern=pattern,
+        )
+        return best, report
+
+    def pattern_changed(self, before: RulePattern, after: RulePattern) -> bool:
+        """Does the structure choice need to be revisited?
+
+        The incremental trigger: only mask-pattern changes can change which
+        structure is cheapest *category-wise*; pure growth within the same
+        pattern is handled by the structure itself.
+        """
+        return (
+            before.distinct_masks != after.distinct_masks
+            or before.all_exact != after.all_exact
+            or before.all_prefix != after.all_prefix
+        )

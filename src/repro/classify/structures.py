@@ -1,0 +1,227 @@
+"""Packet-classification data structures with memory-footprint models.
+
+§3 of the paper: "we can specialize data structures used in the data plane
+to classify packets based on the actual patterns present in the active
+control-plane configuration", e.g. replace a TCAM with a Semi-TCAM or an
+exact-match table when the installed rules need few or no masks.
+
+Each structure implements the same lookup contract (highest-precedence
+matching rule wins) and reports a memory footprint in bits, so the chooser
+can pick the cheapest structure that supports the installed rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One classification rule over a single ``width``-bit key."""
+
+    value: int
+    mask: int  # full mask = exact; 0 = match-all
+    priority: int
+    action: str
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+    def is_exact(self, width: int) -> bool:
+        return self.mask == (1 << width) - 1
+
+    def is_prefix(self, width: int) -> bool:
+        """Is the mask a (possibly empty) prefix mask?"""
+        inverted = (~self.mask) & ((1 << width) - 1)
+        return (inverted & (inverted + 1)) == 0
+
+
+class ClassifierError(ValueError):
+    """Rule set not representable in this structure."""
+
+
+class Classifier:
+    """Common interface: install rules, look up keys, report footprint."""
+
+    name = "abstract"
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def install(self, rules: Iterable[Rule]) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        raise NotImplementedError
+
+    def footprint_bits(self) -> int:
+        raise NotImplementedError
+
+
+class TcamClassifier(Classifier):
+    """Ternary CAM: supports arbitrary masks; the expensive baseline.
+
+    Footprint model: every entry stores value+mask (2·width) and each TCAM
+    cell costs ~2 SRAM-cell-equivalents of area and static power, modeled
+    as a 4x multiplier over plain SRAM bits, plus the action pointer.
+    """
+
+    name = "tcam"
+    CELL_COST = 4  # area/power multiplier vs an SRAM bit
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width)
+        self._rules: list[Rule] = []
+
+    def install(self, rules: Iterable[Rule]) -> None:
+        self._rules = sorted(rules, key=lambda r: -r.priority)
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        for rule in self._rules:
+            if rule.matches(key):
+                return rule
+        return None
+
+    def footprint_bits(self) -> int:
+        per_entry = 2 * self.width * self.CELL_COST + 16
+        return len(self._rules) * per_entry
+
+
+class StcamClassifier(Classifier):
+    """Semi-TCAM: a small set of shared masks, exact-match within each.
+
+    Models AMD's STCAM: rules are grouped by mask; each group is an SRAM
+    hash table keyed on (key & mask).  Only viable when the number of
+    distinct masks is at most ``max_masks``.
+    """
+
+    name = "stcam"
+
+    def __init__(self, width: int, max_masks: int = 16) -> None:
+        super().__init__(width)
+        self.max_masks = max_masks
+        self._groups: list[tuple[int, int, dict[int, Rule]]] = []  # (prio, mask, map)
+
+    def install(self, rules: Iterable[Rule]) -> None:
+        rules = list(rules)
+        masks = {rule.mask for rule in rules}
+        if len(masks) > self.max_masks:
+            raise ClassifierError(
+                f"{len(masks)} distinct masks exceed STCAM capacity {self.max_masks}"
+            )
+        groups: dict[int, dict[int, Rule]] = {}
+        group_priority: dict[int, int] = {}
+        for rule in rules:
+            table = groups.setdefault(rule.mask, {})
+            masked = rule.value & rule.mask
+            existing = table.get(masked)
+            if existing is None or rule.priority > existing.priority:
+                table[masked] = rule
+            group_priority[rule.mask] = max(
+                group_priority.get(rule.mask, 0), rule.priority
+            )
+        self._groups = sorted(
+            ((group_priority[mask], mask, table) for mask, table in groups.items()),
+            key=lambda g: -g[0],
+        )
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        best: Optional[Rule] = None
+        for _prio, mask, table in self._groups:
+            rule = table.get(key & mask)
+            if rule is not None and (best is None or rule.priority > best.priority):
+                best = rule
+        return best
+
+    def footprint_bits(self) -> int:
+        total = 0
+        for _prio, mask, table in self._groups:
+            # Mask register + hash table (1.25x load-factor overhead).
+            total += self.width
+            total += int(len(table) * (self.width + 16) * 1.25)
+        return total
+
+
+class ExactClassifier(Classifier):
+    """Plain SRAM hash table: only full-mask rules."""
+
+    name = "exact"
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width)
+        self._table: dict[int, Rule] = {}
+
+    def install(self, rules: Iterable[Rule]) -> None:
+        table: dict[int, Rule] = {}
+        full = (1 << self.width) - 1
+        for rule in rules:
+            if rule.mask != full:
+                raise ClassifierError("exact classifier requires full masks")
+            existing = table.get(rule.value)
+            if existing is None or rule.priority > existing.priority:
+                table[rule.value] = rule
+        self._table = table
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        return self._table.get(key)
+
+    def footprint_bits(self) -> int:
+        return int(len(self._table) * (self.width + 16) * 1.25)
+
+
+class LpmTrieClassifier(Classifier):
+    """Binary trie for prefix-mask rules (longest prefix wins)."""
+
+    name = "lpm-trie"
+
+    class _Node:
+        __slots__ = ("children", "rule")
+
+        def __init__(self) -> None:
+            self.children: list = [None, None]
+            self.rule: Optional[Rule] = None
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width)
+        self._root = self._Node()
+        self._nodes = 1
+        self._rules = 0
+
+    def install(self, rules: Iterable[Rule]) -> None:
+        self._root = self._Node()
+        self._nodes = 1
+        self._rules = 0
+        for rule in rules:
+            if not rule.is_prefix(self.width):
+                raise ClassifierError("LPM trie requires prefix masks")
+            self._insert(rule)
+
+    def _insert(self, rule: Rule) -> None:
+        prefix_len = bin(rule.mask).count("1")
+        node = self._root
+        for i in range(prefix_len):
+            bit = (rule.value >> (self.width - 1 - i)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = self._Node()
+                self._nodes += 1
+            node = node.children[bit]
+        if node.rule is None or rule.priority > node.rule.priority:
+            node.rule = rule
+        self._rules += 1
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        node = self._root
+        best = node.rule
+        for i in range(self.width):
+            bit = (key >> (self.width - 1 - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.rule is not None:
+                best = node.rule
+        return best
+
+    def footprint_bits(self) -> int:
+        # Two child pointers (20 bits each) per node + action data per rule.
+        return self._nodes * 40 + self._rules * 16

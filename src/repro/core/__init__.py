@@ -1,0 +1,23 @@
+"""Flay core: queries, specializer, incremental pipeline, facade."""
+
+from repro.core.flay import Flay, FlayOptions, FlayTimings
+from repro.core.incremental import (
+    BatchDecision,
+    IncrementalSpecializer,
+    UpdateDecision,
+)
+from repro.core.queries import (
+    ALWAYS,
+    MAYBE,
+    NEVER,
+    PointVerdict,
+    QueryEngine,
+    TableVerdict,
+)
+from repro.core.specializer import (
+    EFFORT_DCE,
+    EFFORT_FULL,
+    EFFORT_NONE,
+    SpecializationReport,
+    Specializer,
+)

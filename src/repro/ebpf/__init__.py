@@ -1,0 +1,27 @@
+"""eBPF/XDP generalization of Flay (§4: maps are the control plane)."""
+
+from repro.ebpf.maps import (
+    ARRAY,
+    HASH,
+    LPM_TRIE,
+    Field,
+    MapError,
+    MapRuntime,
+    MapSpec,
+)
+from repro.ebpf.program import (
+    Assign,
+    If,
+    Lookup,
+    Return,
+    ScratchVar,
+    TranslationError,
+    XDP_ABORTED,
+    XDP_DROP,
+    XDP_PASS,
+    XDP_REDIRECT,
+    XDP_TX,
+    XdpProgram,
+    translate,
+)
+from repro.ebpf.runtime import EbpfFlay, MapOpResult

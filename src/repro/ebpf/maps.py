@@ -1,0 +1,139 @@
+"""eBPF map model: the control-plane surface of an XDP program.
+
+The paper (§2) draws the P4↔eBPF correspondence explicitly: "In eBPF,
+data-plane variables are sourced from reads of the packet metadata
+structure, and control-plane variables are stored in maps."  This module
+gives maps a bpf(2)-style API (`update_elem`/`delete_elem`) and translates
+each operation into the same :class:`repro.runtime.semantics.Update` the
+incremental pipeline consumes — map kind by map kind:
+
+* ``BPF_MAP_TYPE_HASH``   → exact-match table
+* ``BPF_MAP_TYPE_LPM_TRIE`` → lpm table
+* ``BPF_MAP_TYPE_ARRAY``  → exact-match table over the index
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime.entries import ExactMatch, LpmMatch, TableEntry
+from repro.runtime.semantics import DELETE, INSERT, MODIFY, Update
+
+HASH = "hash"
+LPM_TRIE = "lpm_trie"
+ARRAY = "array"
+
+_KINDS = (HASH, LPM_TRIE, ARRAY)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One scalar field of a map key or value."""
+
+    name: str
+    width: int  # bits
+
+
+@dataclass(frozen=True)
+class MapSpec:
+    """Declaration of one eBPF map."""
+
+    name: str
+    kind: str
+    key: tuple  # of Field
+    value: tuple  # of Field
+    max_entries: int = 1024
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown map kind {self.kind!r}")
+        if self.kind == LPM_TRIE and len(self.key) != 1:
+            raise ValueError("LPM maps take a single key field")
+        if self.kind == ARRAY and (len(self.key) != 1 or self.key[0].width > 32):
+            raise ValueError("array maps are indexed by one <=32-bit field")
+
+    @property
+    def table_name(self) -> str:
+        """The table this map becomes after translation."""
+        return f"map_{self.name}"
+
+    @property
+    def action_name(self) -> str:
+        return f"set_{self.name}_value"
+
+
+class MapError(ValueError):
+    """Invalid map operation."""
+
+
+@dataclass
+class MapRuntime:
+    """bpf(2)-style userspace handle for one map.
+
+    Operations are recorded as control-plane :class:`Update` objects; the
+    caller (``EbpfFlay``) feeds them through the incremental pipeline.
+    """
+
+    spec: MapSpec
+    qualified_table: str  # "<control>.<table>"
+    _keys: set = field(default_factory=set)
+
+    def _match(self, key, prefix_len: Optional[int]):
+        spec = self.spec
+        if spec.kind == LPM_TRIE:
+            if prefix_len is None:
+                raise MapError(f"LPM map {spec.name!r} needs a prefix length")
+            (key_field,) = spec.key
+            (value,) = key if isinstance(key, tuple) else (key,)
+            return (LpmMatch(value, prefix_len),)
+        values = key if isinstance(key, tuple) else (key,)
+        if len(values) != len(spec.key):
+            raise MapError(
+                f"map {spec.name!r} key has {len(spec.key)} fields, got {len(values)}"
+            )
+        for value, key_field in zip(values, spec.key):
+            if not 0 <= value < (1 << key_field.width):
+                raise MapError(
+                    f"key field {key_field.name}={value:#x} out of range"
+                )
+        if spec.kind == ARRAY:
+            (index,) = values
+            if index >= spec.max_entries:
+                raise MapError(
+                    f"array index {index} out of bounds ({spec.max_entries})"
+                )
+        return tuple(ExactMatch(v) for v in values)
+
+    def _entry(self, key, value, prefix_len: Optional[int]) -> TableEntry:
+        values = value if isinstance(value, tuple) else (value,)
+        if len(values) != len(self.spec.value):
+            raise MapError(
+                f"map {self.spec.name!r} value has {len(self.spec.value)} fields, "
+                f"got {len(values)}"
+            )
+        priority = prefix_len or 0
+        return TableEntry(
+            self._match(key, prefix_len), self.spec.action_name, tuple(values), priority
+        )
+
+    def update_elem(self, key, value, prefix_len: Optional[int] = None) -> Update:
+        """``bpf_map_update_elem``: insert or overwrite."""
+        entry = self._entry(key, value, prefix_len)
+        op = MODIFY if entry.match_key() in self._keys else INSERT
+        self._keys.add(entry.match_key())
+        return Update(self.qualified_table, op, entry)
+
+    def delete_elem(self, key, prefix_len: Optional[int] = None) -> Update:
+        """``bpf_map_delete_elem``."""
+        # The entry's action payload is irrelevant for a delete; reuse a
+        # zero value so the match key resolves.
+        zero = tuple(0 for _ in self.spec.value)
+        entry = self._entry(key, zero, prefix_len)
+        if entry.match_key() not in self._keys:
+            raise MapError(f"no such key in map {self.spec.name!r}")
+        self._keys.discard(entry.match_key())
+        return Update(self.qualified_table, DELETE, entry)
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,320 @@
+"""XDP program model and its translation onto the P4 substrate.
+
+An :class:`XdpProgram` is a restricted-C-shaped packet program: a fixed
+Ethernet/IPv4/UDP context (``ctx.eth``, ``ctx.ip``, ``ctx.udp``), scratch
+metadata (``meta``), eBPF maps, and a body of lookups, branches,
+assignments, and XDP returns.  Translation produces a program in the P4
+subset — maps become match-action tables, ``bpf_map_lookup_elem`` becomes
+``table.apply().hit``, returns become verdict writes — after which the
+whole Flay pipeline (analysis, queries, specialization, incremental
+updates) applies unchanged.  This is the §4 generalization claim, made
+executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.ebpf.maps import ARRAY, HASH, LPM_TRIE, Field, MapSpec
+
+# XDP verdict codes (linux/bpf.h).
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4
+
+_VERDICT_NAMES = {
+    XDP_ABORTED: "XDP_ABORTED",
+    XDP_DROP: "XDP_DROP",
+    XDP_PASS: "XDP_PASS",
+    XDP_TX: "XDP_TX",
+    XDP_REDIRECT: "XDP_REDIRECT",
+}
+
+
+# -- body statements -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """``value = bpf_map_lookup_elem(&map, &key); if (value) {...} else {...}``
+
+    ``key`` holds P4-syntax expressions over ``ctx``/``meta``; the looked-up
+    value fields appear as ``meta.<map>_<field>`` inside ``hit``.
+    """
+
+    map_name: str
+    key: tuple  # of expression strings
+    hit: tuple = ()
+    miss: tuple = ()
+
+
+@dataclass(frozen=True)
+class If:
+    cond: str  # P4-syntax boolean expression
+    then: tuple = ()
+    orelse: tuple = ()
+
+
+@dataclass(frozen=True)
+class Assign:
+    dst: str  # path, e.g. "ctx.ip.ttl" or "meta.scratch"
+    src: str  # P4-syntax expression
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return XDP_*;`` — ends packet processing with a verdict."""
+
+    verdict: int
+    redirect_expr: Optional[str] = None  # for XDP_REDIRECT
+
+
+Stmt = Union[Lookup, If, Assign, Return]
+
+
+@dataclass(frozen=True)
+class ScratchVar:
+    name: str
+    width: int
+
+
+@dataclass
+class XdpProgram:
+    """One XDP program: maps + body + scratch state."""
+
+    name: str
+    maps: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+    scratch: list = field(default_factory=list)  # of ScratchVar
+
+    def map(self, name: str) -> MapSpec:
+        for spec in self.maps:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"program has no map {name!r}")
+
+    # Convenience constructors mirroring libbpf declarations.
+    def hash_map(self, name, key, value, max_entries=1024) -> MapSpec:
+        spec = MapSpec(name, HASH, _fields(key), _fields(value), max_entries)
+        self.maps.append(spec)
+        return spec
+
+    def lpm_map(self, name, key, value, max_entries=1024) -> MapSpec:
+        spec = MapSpec(name, LPM_TRIE, _fields(key), _fields(value), max_entries)
+        self.maps.append(spec)
+        return spec
+
+    def array_map(self, name, key, value, max_entries=64) -> MapSpec:
+        spec = MapSpec(name, ARRAY, _fields(key), _fields(value), max_entries)
+        self.maps.append(spec)
+        return spec
+
+
+def _fields(pairs) -> tuple:
+    return tuple(Field(name, width) for name, width in pairs)
+
+
+# -- translation ---------------------------------------------------------------
+
+_HEADERS = """
+header eth_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> proto;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> tos;
+    bit<16> total_len;
+    bit<16> ident;
+    bit<16> frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> checksum;
+    bit<32> saddr;
+    bit<32> daddr;
+}
+
+header udp_t {
+    bit<16> sport;
+    bit<16> dport;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct ctx_t {
+    eth_t eth;
+    ipv4_t ip;
+    udp_t udp;
+}
+
+struct intrinsic_t {
+    bit<9> ingress_ifindex;
+    bit<48> rx_timestamp;
+}
+"""
+
+_PARSER = """
+parser XdpParser(inout ctx_t ctx, inout meta_t meta, inout intrinsic_t intr) {
+    state start {
+        pkt_extract(ctx.eth);
+        transition select(ctx.eth.proto) {
+            0x0800: parse_ip;
+            default: accept;
+        }
+    }
+    state parse_ip {
+        pkt_extract(ctx.ip);
+        transition select(ctx.ip.protocol) {
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt_extract(ctx.udp);
+        transition accept;
+    }
+}
+"""
+
+
+class TranslationError(ValueError):
+    """The XDP program cannot be expressed on the P4 substrate."""
+
+
+def translate(program: XdpProgram) -> str:
+    """XDP program → P4-subset source text."""
+    return _Translator(program).emit()
+
+
+class _Translator:
+    def __init__(self, program: XdpProgram) -> None:
+        self.program = program
+        self.lookup_keys: dict[str, tuple] = {}
+        self._collect_lookups(program.body)
+
+    def _collect_lookups(self, statements) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Lookup):
+                spec = self.program.map(stmt.map_name)
+                if len(stmt.key) != len(spec.key):
+                    raise TranslationError(
+                        f"lookup on {spec.name!r} has {len(stmt.key)} key "
+                        f"exprs, map declares {len(spec.key)}"
+                    )
+                if stmt.map_name in self.lookup_keys:
+                    raise TranslationError(
+                        f"map {stmt.map_name!r} is looked up twice; the "
+                        "table encoding supports one lookup site per map"
+                    )
+                self.lookup_keys[stmt.map_name] = stmt.key
+                self._collect_lookups(stmt.hit)
+                self._collect_lookups(stmt.miss)
+            elif isinstance(stmt, If):
+                self._collect_lookups(stmt.then)
+                self._collect_lookups(stmt.orelse)
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self) -> str:
+        return (
+            _HEADERS
+            + self._meta_struct()
+            + _PARSER
+            + self._control()
+            + "\nPipeline(XdpParser(), XdpMain()) main;\n"
+        )
+
+    def _meta_struct(self) -> str:
+        lines = ["struct meta_t {"]
+        lines.append("    bit<8> xdp_verdict;")
+        lines.append("    bit<16> redirect_ifindex;")
+        for spec in self.program.maps:
+            for value_field in spec.value:
+                lines.append(
+                    f"    bit<{value_field.width}> {spec.name}_{value_field.name};"
+                )
+        for var in self.program.scratch:
+            lines.append(f"    bit<{var.width}> {var.name};")
+        lines.append("}")
+        return "\n" + "\n".join(lines) + "\n"
+
+    def _control(self) -> str:
+        lines = ["control XdpMain(inout ctx_t ctx, inout meta_t meta, inout intrinsic_t intr) {"]
+        lines.append("    action xdp_noop() {")
+        lines.append("    }")
+        for spec in self.program.maps:
+            params = ", ".join(
+                f"bit<{f.width}> {f.name}_arg" for f in spec.value
+            )
+            lines.append(f"    action {spec.action_name}({params}) {{")
+            for value_field in spec.value:
+                lines.append(
+                    f"        meta.{spec.name}_{value_field.name} = {value_field.name}_arg;"
+                )
+            lines.append("    }")
+            match_kind = {HASH: "exact", LPM_TRIE: "lpm", ARRAY: "exact"}[spec.kind]
+            key_exprs = self.lookup_keys.get(spec.name)
+            if key_exprs is None:
+                continue  # declared but never looked up: no table emitted
+            lines.append(f"    table {spec.table_name} {{")
+            lines.append("        key = {")
+            for expr in key_exprs:
+                lines.append(f"            {expr}: {match_kind};")
+            lines.append("        }")
+            lines.append("        actions = {")
+            lines.append(f"            {spec.action_name};")
+            lines.append("            xdp_noop;")
+            lines.append("        }")
+            lines.append("        default_action = xdp_noop();")
+            lines.append(f"        size = {spec.max_entries};")
+            lines.append("    }")
+        lines.append("    apply {")
+        lines.append(f"        meta.xdp_verdict = {XDP_PASS};")
+        for stmt in self.program.body:
+            lines.extend(self._stmt(stmt, 2))
+        lines.append("    }")
+        lines.append("}")
+        return "\n" + "\n".join(lines) + "\n"
+
+    def _stmt(self, stmt: Stmt, depth: int) -> list:
+        pad = "    " * depth
+        if isinstance(stmt, Assign):
+            return [f"{pad}{stmt.dst} = {stmt.src};"]
+        if isinstance(stmt, Return):
+            out = [f"{pad}meta.xdp_verdict = {stmt.verdict};"]
+            if stmt.verdict == XDP_REDIRECT:
+                if stmt.redirect_expr is None:
+                    raise TranslationError("XDP_REDIRECT needs a redirect_expr")
+                out.append(f"{pad}meta.redirect_ifindex = {stmt.redirect_expr};")
+            if stmt.verdict in (XDP_DROP, XDP_ABORTED):
+                out.append(f"{pad}mark_to_drop();")
+            out.append(f"{pad}exit;")
+            return out
+        if isinstance(stmt, If):
+            out = [f"{pad}if ({stmt.cond}) {{"]
+            for inner in stmt.then:
+                out.extend(self._stmt(inner, depth + 1))
+            if stmt.orelse:
+                out.append(f"{pad}}} else {{")
+                for inner in stmt.orelse:
+                    out.extend(self._stmt(inner, depth + 1))
+            out.append(f"{pad}}}")
+            return out
+        if isinstance(stmt, Lookup):
+            spec = self.program.map(stmt.map_name)
+            out = [f"{pad}if ({spec.table_name}.apply().hit) {{"]
+            for inner in stmt.hit:
+                out.extend(self._stmt(inner, depth + 1))
+            if stmt.miss:
+                out.append(f"{pad}}} else {{")
+                for inner in stmt.miss:
+                    out.extend(self._stmt(inner, depth + 1))
+            out.append(f"{pad}}}")
+            return out
+        raise TranslationError(f"unknown statement {stmt!r}")

@@ -1,0 +1,90 @@
+"""EbpfFlay: the Flay pipeline driven through the eBPF map API.
+
+Morpheus [51] specializes eBPF programs on every control-plane update;
+Flay's claim is that the same incremental machinery applies: map contents
+are the control plane, `bpf_map_update_elem` is the update stream, and the
+specialized artifact is the program a JIT would compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.flay import Flay, FlayOptions
+from repro.core.incremental import UpdateDecision
+from repro.ebpf.maps import MapRuntime
+from repro.ebpf.program import XdpProgram, translate
+
+
+@dataclass
+class MapOpResult:
+    """A map operation plus the incremental pipeline's decision on it."""
+
+    map_name: str
+    op: str
+    decision: UpdateDecision
+
+    def describe(self) -> str:
+        return f"{self.op} {self.map_name}: {self.decision.describe()}"
+
+
+class EbpfFlay:
+    """Incremental specialization of one XDP program."""
+
+    def __init__(
+        self, program: XdpProgram, options: Optional[FlayOptions] = None
+    ) -> None:
+        self.xdp = program
+        self.p4_source = translate(program)
+        if options is None:
+            options = FlayOptions(target="bmv2")
+        self.flay = Flay.from_source(self.p4_source, options)
+        self.maps = {}
+        for spec in program.maps:
+            qualified = f"XdpMain.{spec.table_name}"
+            if qualified in self.flay.model.tables:
+                self.maps[spec.name] = MapRuntime(spec, qualified)
+
+    # -- bpf(2)-style API ---------------------------------------------------
+
+    def map_update_elem(
+        self, map_name: str, key, value, prefix_len: Optional[int] = None
+    ) -> MapOpResult:
+        runtime = self._map(map_name)
+        update = runtime.update_elem(key, value, prefix_len)
+        decision = self.flay.process_update(update)
+        return MapOpResult(map_name, update.op, decision)
+
+    def map_delete_elem(
+        self, map_name: str, key, prefix_len: Optional[int] = None
+    ) -> MapOpResult:
+        runtime = self._map(map_name)
+        update = runtime.delete_elem(key, prefix_len)
+        decision = self.flay.process_update(update)
+        return MapOpResult(map_name, update.op, decision)
+
+    def _map(self, name: str) -> MapRuntime:
+        runtime = self.maps.get(name)
+        if runtime is None:
+            raise KeyError(
+                f"map {name!r} is not looked up by the program "
+                "(declared-but-unused maps have no data-plane footprint)"
+            )
+        return runtime
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def model(self):
+        return self.flay.model
+
+    @property
+    def report(self):
+        return self.flay.report
+
+    def specialized_source(self) -> str:
+        return self.flay.specialized_source()
+
+    def summary(self) -> str:
+        return self.flay.summary()

@@ -1,0 +1,12 @@
+"""Mid-level program analyses: metrics and table dependency graphs."""
+
+from repro.ir.deps import (
+    ACTION_DEP,
+    CONTROL_DEP,
+    MATCH_DEP,
+    DepEdge,
+    DependencyGraph,
+    TableNode,
+    build_dependency_graph,
+)
+from repro.ir.metrics import ProgramMetrics, measure, statement_count

@@ -1,0 +1,364 @@
+"""Table dependency analysis for RMT stage allocation.
+
+Walks each control's apply block in program order and extracts a sequence
+of *logical table nodes* (match-action tables plus the gateway conditions
+guarding them), each with read/write sets over flattened field paths.
+Classic RMT dependency classes between earlier node A and later node B:
+
+* **match dependency** — A writes a field B matches/reads → B must be in a
+  strictly later stage;
+* **action dependency** — A and B write the same field → strictly later;
+* **control dependency** — B executes under a gateway fed by A's result →
+  later stage (Tofino gateways resolve in-stage, but successor tables of a
+  hit/miss branch still serialize).
+
+The Tofino allocator consumes this graph to compute the stage count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.p4 import ast_nodes as ast
+from repro.p4.types import TypeEnv, lvalue_path
+
+MATCH_DEP = "match"
+ACTION_DEP = "action"
+CONTROL_DEP = "control"
+
+#: Sticky flags: many tables OR into these, and RMT hardware folds such
+#: writes into per-table bitmasks rather than ALU data hazards — they must
+#: not create action dependencies between otherwise-independent tables.
+STICKY_FIELDS = frozenset({"std.drop", "std.parser_error"})
+
+
+@dataclass
+class TableNode:
+    """One logical table: a P4 table, or a gateway-only conditional."""
+
+    name: str
+    control: str
+    is_gateway: bool
+    reads: set[str] = dataclass_field(default_factory=set)
+    writes: set[str] = dataclass_field(default_factory=set)
+    key_bits: int = 0
+    ternary_key_bits: int = 0
+    lpm_key_bits: int = 0
+    exact_key_bits: int = 0
+    size: int = 512
+    num_actions: int = 0
+    action_param_bits: int = 0
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    src: str
+    dst: str
+    kind: str
+
+
+@dataclass
+class DependencyGraph:
+    nodes: dict[str, TableNode]
+    edges: list[DepEdge]
+    order: list[str]  # program order of node names
+
+    def successors(self, name: str) -> list[DepEdge]:
+        return [e for e in self.edges if e.src == name]
+
+    def predecessors(self, name: str) -> list[DepEdge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def longest_chain(self) -> int:
+        """Length (in nodes) of the longest dependency chain."""
+        depth: dict[str, int] = {}
+        for name in self.order:
+            best = 0
+            for edge in self.predecessors(name):
+                best = max(best, depth.get(edge.src, 0))
+            depth[name] = best + 1
+        return max(depth.values(), default=0)
+
+
+def build_dependency_graph(
+    program: ast.Program, env: Optional[TypeEnv] = None
+) -> DependencyGraph:
+    env = env if env is not None else TypeEnv(program)
+    builder = _Builder(program, env)
+    for control_name in program.pipeline.controls:
+        control = program.find(control_name)
+        builder.walk_control(control)
+    builder.connect()
+    return DependencyGraph(builder.nodes, builder.edges, builder.order)
+
+
+class _Builder:
+    def __init__(self, program: ast.Program, env: TypeEnv) -> None:
+        self.program = program
+        self.env = env
+        self.nodes: dict[str, TableNode] = {}
+        self.edges: list[DepEdge] = []
+        self.order: list[str] = []
+        self._gateway_counter = 0
+        # (node, guard-source-nodes, branch-path) in program order.  The
+        # branch path records (gateway, arm) pairs; two nodes whose paths
+        # diverge at the same gateway are mutually exclusive and impose no
+        # match/action dependency on each other.
+        self._sequence: list[tuple[TableNode, frozenset[str], tuple]] = []
+
+    # -- walking -------------------------------------------------------------
+
+    def walk_control(self, control: ast.ControlDecl) -> None:
+        self._walk_block(control, control.apply, guards=frozenset(), branch=())
+
+    def _walk_block(
+        self,
+        control: ast.ControlDecl,
+        block: ast.Block,
+        guards: frozenset[str],
+        branch: tuple,
+    ) -> None:
+        for stmt in block.statements:
+            self._walk_stmt(control, stmt, guards, branch)
+
+    def _walk_stmt(self, control, stmt, guards: frozenset[str], branch: tuple) -> None:
+        if isinstance(stmt, ast.MethodCallStmt):
+            call = stmt.call
+            if call.method == "apply" and call.target is not None:
+                self._add_table(control, lvalue_path(call.target), guards, branch)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            gateway = self._add_gateway(control, stmt.cond, guards, branch)
+            inner = guards | {gateway.name}
+            self._walk_block(control, stmt.then, inner, branch + ((gateway.name, 0),))
+            if stmt.orelse is not None:
+                self._walk_block(
+                    control, stmt.orelse, inner, branch + ((gateway.name, 1),)
+                )
+            return
+        if isinstance(stmt, ast.SwitchStmt):
+            table = self._add_table(control, stmt.table, guards, branch)
+            inner = guards | {table.name}
+            for arm, case in enumerate(stmt.cases):
+                self._walk_block(
+                    control, case.body, inner, branch + ((table.name, arm),)
+                )
+            return
+        # Straight-line statements contribute to the enclosing gateway-less
+        # ALU work; they do not create table nodes.
+
+    def _add_gateway(
+        self, control, cond, guards: frozenset[str], branch: tuple
+    ) -> TableNode:
+        # `if (t.apply().hit)` — the table is the gateway.
+        if (
+            isinstance(cond, ast.Member)
+            and cond.name in ("hit", "miss")
+            and isinstance(cond.expr, ast.MethodCall)
+            and cond.expr.method == "apply"
+        ):
+            return self._add_table(
+                control, lvalue_path(cond.expr.target), guards, branch
+            )
+        self._gateway_counter += 1
+        node = TableNode(
+            name=f"{control.name}.$gw{self._gateway_counter}",
+            control=control.name,
+            is_gateway=True,
+        )
+        node.reads = _expr_fields(cond)
+        self._register(node, guards, branch)
+        return node
+
+    def _add_table(
+        self, control, table_name: str, guards: frozenset[str], branch: tuple
+    ) -> TableNode:
+        decl = None
+        for local in control.locals:
+            if isinstance(local, ast.TableDecl) and local.name == table_name:
+                decl = local
+                break
+        if decl is None:
+            raise KeyError(f"control {control.name!r} has no table {table_name!r}")
+        qualified = f"{control.name}.{table_name}"
+        if qualified in self.nodes:
+            return self.nodes[qualified]
+        node = TableNode(
+            name=qualified,
+            control=control.name,
+            is_gateway=False,
+            size=decl.size or 512,
+            num_actions=len(decl.actions),
+        )
+        scope = _control_scope(self.env, control)
+        for key in decl.keys:
+            node.reads |= _expr_fields(key.expr)
+            width = _key_width(key.expr, scope, self.env)
+            node.key_bits += width
+            if key.match_kind == "ternary":
+                node.ternary_key_bits += width
+            elif key.match_kind == "lpm":
+                node.lpm_key_bits += width
+            else:
+                node.exact_key_bits += width
+        for ref in decl.actions:
+            action = _find_action(control, ref.name)
+            node.action_param_bits += sum(
+                self.env.width_of(p.type) for p in action.params
+            )
+            reads, writes = _action_effects(action)
+            node.reads |= reads
+            node.writes |= writes
+        self._register(node, guards, branch)
+        return node
+
+    def _register(self, node: TableNode, guards: frozenset[str], branch: tuple) -> None:
+        self.nodes[node.name] = node
+        self.order.append(node.name)
+        self._sequence.append((node, guards, branch))
+
+    # -- edges ----------------------------------------------------------------
+
+    def connect(self) -> None:
+        seen: set[tuple[str, str]] = set()
+
+        def add(src: str, dst: str, kind: str) -> None:
+            if (src, dst) not in seen and src != dst:
+                seen.add((src, dst))
+                self.edges.append(DepEdge(src, dst, kind))
+
+        for i, (later, later_guards, later_branch) in enumerate(self._sequence):
+            for j in range(i):
+                earlier, _, earlier_branch = self._sequence[j]
+                if _mutually_exclusive(earlier_branch, later_branch):
+                    continue
+                if earlier.writes & later.reads:
+                    add(earlier.name, later.name, MATCH_DEP)
+                elif (earlier.writes & later.writes) - STICKY_FIELDS:
+                    add(earlier.name, later.name, ACTION_DEP)
+            for guard in later_guards:
+                add(guard, later.name, CONTROL_DEP)
+
+
+# ---------------------------------------------------------------------------
+# Field extraction helpers
+# ---------------------------------------------------------------------------
+
+
+def _mutually_exclusive(branch_a: tuple, branch_b: tuple) -> bool:
+    """True when the two branch paths diverge at a common gateway/switch."""
+    for (gw_a, arm_a), (gw_b, arm_b) in zip(branch_a, branch_b):
+        if gw_a != gw_b:
+            return False
+        if arm_a != arm_b:
+            return True
+    return False
+
+
+def _expr_fields(expr) -> set[str]:
+    """Flattened field paths an expression reads."""
+    fields: set[str] = set()
+    _collect_fields(expr, fields)
+    return fields
+
+
+def _collect_fields(expr, out: set[str]) -> None:
+    if isinstance(expr, ast.Member):
+        path = _maybe_path(expr)
+        if path is not None:
+            out.add(path)
+            return
+        _collect_fields(expr.expr, out)
+    elif isinstance(expr, ast.Ident):
+        out.add(expr.name)
+    elif isinstance(expr, (ast.Unary, ast.Cast)):
+        _collect_fields(expr.expr, out)
+    elif isinstance(expr, ast.Slice):
+        _collect_fields(expr.expr, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_fields(expr.left, out)
+        _collect_fields(expr.right, out)
+    elif isinstance(expr, ast.Ternary):
+        _collect_fields(expr.cond, out)
+        _collect_fields(expr.then, out)
+        _collect_fields(expr.orelse, out)
+    elif isinstance(expr, ast.MethodCall):
+        if expr.target is not None and expr.method == "isValid":
+            path = _maybe_path(expr.target)
+            if path is not None:
+                out.add(path + ".$valid")
+                return
+        for arg in expr.args:
+            _collect_fields(arg, out)
+
+
+def _maybe_path(expr) -> Optional[str]:
+    try:
+        return lvalue_path(expr)
+    except Exception:
+        return None
+
+
+def _action_effects(action: ast.ActionDecl) -> tuple[set[str], set[str]]:
+    param_names = {p.name for p in action.params}
+    reads: set[str] = set()
+    writes: set[str] = set()
+    _block_effects(action.body, param_names, reads, writes)
+    return reads, writes
+
+
+def _block_effects(block: ast.Block, params: set[str], reads, writes) -> None:
+    for stmt in block.statements:
+        if isinstance(stmt, ast.AssignStmt):
+            lhs = stmt.lhs.expr if isinstance(stmt.lhs, ast.Slice) else stmt.lhs
+            path = _maybe_path(lhs)
+            if path is not None and path not in params:
+                writes.add(path)
+            reads.update(f for f in _expr_fields(stmt.rhs) if f not in params)
+        elif isinstance(stmt, ast.IfStmt):
+            reads.update(f for f in _expr_fields(stmt.cond) if f not in params)
+            _block_effects(stmt.then, params, reads, writes)
+            if stmt.orelse is not None:
+                _block_effects(stmt.orelse, params, reads, writes)
+        elif isinstance(stmt, ast.MethodCallStmt):
+            call = stmt.call
+            if call.method == "mark_to_drop":
+                writes.add("std.drop")
+            elif call.method in ("setValid", "setInvalid") and call.target is not None:
+                path = _maybe_path(call.target)
+                if path is not None:
+                    writes.add(path + ".$valid")
+            elif call.method == "read" and call.args:
+                path = _maybe_path(call.args[0])
+                if path is not None and path not in params:
+                    writes.add(path)
+            else:
+                for arg in call.args:
+                    reads.update(f for f in _expr_fields(arg) if f not in params)
+
+
+def _control_scope(env: TypeEnv, control: ast.ControlDecl):
+    from repro.p4.types import scope_for_params
+
+    scope = scope_for_params(env, control.params)
+    for local in control.locals:
+        if isinstance(local, ast.VarDeclStmt):
+            scope.bind(local.name, local.type)
+    return scope
+
+
+def _key_width(expr, scope, env: TypeEnv) -> int:
+    from repro.p4.types import bit_width
+
+    try:
+        return bit_width(expr, scope, context_width=32)
+    except Exception:
+        return 32
+
+
+def _find_action(control: ast.ControlDecl, name: str) -> ast.ActionDecl:
+    for local in control.locals:
+        if isinstance(local, ast.ActionDecl) and local.name == name:
+            return local
+    raise KeyError(f"control {control.name!r} has no action {name!r}")

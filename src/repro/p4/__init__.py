@@ -1,0 +1,16 @@
+"""P4-16 subset front end: lexer, parser, AST, types, printer."""
+
+from repro.p4 import ast_nodes as ast
+from repro.p4.errors import LexError, P4Error, ParseError, TypeCheckError
+from repro.p4.lexer import tokenize
+from repro.p4.parser import parse_expr, parse_program
+from repro.p4.printer import print_expr, print_program, print_stmt
+from repro.p4.types import (
+    FieldInfo,
+    Scope,
+    TypeEnv,
+    bit_width,
+    lvalue_path,
+    scope_for_params,
+    type_of,
+)

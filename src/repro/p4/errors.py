@@ -1,0 +1,38 @@
+"""Diagnostics for the P4 front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A position in a source file (1-based line/column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class P4Error(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message: str, pos: SourcePos | None = None) -> None:
+        self.pos = pos
+        if pos is not None:
+            message = f"{pos}: {message}"
+        super().__init__(message)
+
+
+class LexError(P4Error):
+    """Malformed token."""
+
+
+class ParseError(P4Error):
+    """Syntactically invalid program."""
+
+
+class TypeCheckError(P4Error):
+    """Semantically invalid program (unknown name, width mismatch, ...)."""

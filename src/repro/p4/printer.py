@@ -1,0 +1,256 @@
+"""Pretty-printer: AST → source text of the P4 subset.
+
+``parse_program(print_program(p))`` round-trips (module equality on the
+AST), which the golden tests rely on, and the specializer uses it to emit
+the specialized program handed to the device compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.p4 import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def print_program(program: ast.Program) -> str:
+    lines: list[str] = []
+    for decl in program.declarations:
+        lines.append(_print_decl(decl))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def print_expr(expr: ast.Expr) -> str:
+    return _expr(expr)
+
+
+def print_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    return _stmt(stmt, indent)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _print_decl(decl) -> str:
+    if isinstance(decl, ast.HeaderDecl):
+        return _fields_decl("header", decl.name, decl.fields)
+    if isinstance(decl, ast.StructDecl):
+        return _fields_decl("struct", decl.name, decl.fields)
+    if isinstance(decl, ast.TypedefDecl):
+        return f"typedef {decl.type} {decl.name};"
+    if isinstance(decl, ast.ConstDecl):
+        return f"const {decl.type} {decl.name} = {_expr(decl.value)};"
+    if isinstance(decl, ast.ParserDecl):
+        return _print_parser(decl)
+    if isinstance(decl, ast.ControlDecl):
+        return _print_control(decl)
+    if isinstance(decl, ast.PipelineDecl):
+        stages = ", ".join(f"{s}()" for s in (decl.parser, *decl.controls))
+        return f"Pipeline({stages}) main;"
+    raise TypeError(f"cannot print declaration {decl!r}")
+
+
+def _fields_decl(kind: str, name: str, fields: tuple) -> str:
+    lines = [f"{kind} {name} {{"]
+    for field in fields:
+        lines.append(f"{_INDENT}{field.type} {field.name};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_parser(decl: ast.ParserDecl) -> str:
+    lines = [f"parser {decl.name}({_params(decl.params)}) {{"]
+    for local in decl.locals:
+        if isinstance(local, ast.ValueSetDecl):
+            lines.append(
+                f"{_INDENT}value_set<{local.elem_type}>({local.size}) {local.name};"
+            )
+        else:
+            lines.append(_stmt(local, 1))
+    for state in decl.states:
+        lines.append(f"{_INDENT}state {state.name} {{")
+        for stmt in state.statements:
+            lines.append(_stmt(stmt, 2))
+        lines.append(_transition(state.transition, 2))
+        lines.append(f"{_INDENT}}}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _transition(transition: ast.Transition, indent: int) -> str:
+    pad = _INDENT * indent
+    if isinstance(transition, ast.TransitionDirect):
+        return f"{pad}transition {transition.state};"
+    exprs = ", ".join(_expr(e) for e in transition.exprs)
+    lines = [f"{pad}transition select({exprs}) {{"]
+    for case in transition.cases:
+        keys = ", ".join(_keyset(k) for k in case.keys)
+        if len(case.keys) > 1:
+            keys = f"({keys})"
+        lines.append(f"{pad}{_INDENT}{keys}: {case.state};")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _keyset(key: ast.SelectCaseKey) -> str:
+    if key.is_default:
+        return "default"
+    if key.value_set_name is not None:
+        return key.value_set_name
+    if key.mask is not None:
+        return f"{_expr(key.value)} &&& {_expr(key.mask)}"
+    return _expr(key.value)
+
+
+def _print_control(decl: ast.ControlDecl) -> str:
+    lines = [f"control {decl.name}({_params(decl.params)}) {{"]
+    for local in decl.locals:
+        if isinstance(local, ast.ActionDecl):
+            lines.append(
+                f"{_INDENT}action {local.name}({_params(local.params)}) "
+                + _block(local.body, 1).lstrip()
+            )
+        elif isinstance(local, ast.TableDecl):
+            lines.append(_print_table(local, 1))
+        elif isinstance(local, ast.InstantiationDecl):
+            type_args = (
+                "<" + ", ".join(str(t) for t in local.type_args) + ">"
+                if local.type_args
+                else ""
+            )
+            args = ", ".join(_expr(a) for a in local.args)
+            lines.append(f"{_INDENT}{local.kind}{type_args}({args}) {local.name};")
+        elif isinstance(local, ast.VarDeclStmt):
+            lines.append(_stmt(local, 1))
+        else:
+            raise TypeError(f"cannot print control local {local!r}")
+    lines.append(f"{_INDENT}apply " + _block(decl.apply, 1).lstrip())
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_table(table: ast.TableDecl, indent: int) -> str:
+    pad = _INDENT * indent
+    inner = _INDENT * (indent + 1)
+    inner2 = _INDENT * (indent + 2)
+    lines = [f"{pad}table {table.name} {{"]
+    if table.keys:
+        lines.append(f"{inner}key = {{")
+        for key in table.keys:
+            lines.append(f"{inner2}{_expr(key.expr)}: {key.match_kind};")
+        lines.append(f"{inner}}}")
+    lines.append(f"{inner}actions = {{")
+    for action in table.actions:
+        lines.append(f"{inner2}{action.name};")
+    lines.append(f"{inner}}}")
+    if table.default_action is not None:
+        lines.append(f"{inner}default_action = {_action_ref(table.default_action)};")
+    if table.size is not None:
+        lines.append(f"{inner}size = {table.size};")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _action_ref(ref: ast.ActionRef) -> str:
+    if ref.args:
+        return f"{ref.name}({', '.join(_expr(a) for a in ref.args)})"
+    return f"{ref.name}()"
+
+
+def _params(params: tuple) -> str:
+    parts = []
+    for param in params:
+        direction = f"{param.direction} " if param.direction else ""
+        parts.append(f"{direction}{param.type} {param.name}")
+    return ", ".join(parts)
+
+
+def _block(block: ast.Block, indent: int) -> str:
+    pad = _INDENT * indent
+    lines = [f"{pad}{{"]
+    for stmt in block.statements:
+        lines.append(_stmt(stmt, indent + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _stmt(stmt, indent: int) -> str:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{pad}{_expr(stmt.lhs)} = {_expr(stmt.rhs)};"
+    if isinstance(stmt, ast.IfStmt):
+        text = f"{pad}if ({_expr(stmt.cond)}) " + _block(stmt.then, indent).lstrip()
+        if stmt.orelse is not None:
+            text += " else " + _block(stmt.orelse, indent).lstrip()
+        return text
+    if isinstance(stmt, ast.MethodCallStmt):
+        return f"{pad}{_expr(stmt.call)};"
+    if isinstance(stmt, ast.VarDeclStmt):
+        if stmt.init is not None:
+            return f"{pad}{stmt.type} {stmt.name} = {_expr(stmt.init)};"
+        return f"{pad}{stmt.type} {stmt.name};"
+    if isinstance(stmt, ast.ExitStmt):
+        return f"{pad}exit;"
+    if isinstance(stmt, ast.ReturnStmt):
+        return f"{pad}return;"
+    if isinstance(stmt, ast.SwitchStmt):
+        lines = [f"{pad}switch ({stmt.table}.apply().action_run) {{"]
+        for case in stmt.cases:
+            label = case.action if case.action is not None else "default"
+            lines.append(
+                f"{pad}{_INDENT}{label}: " + _block(case.body, indent + 1).lstrip()
+            )
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "|": 5, "^": 6, "&": 7,
+    "<<": 8, ">>": 8, "++": 9,
+    "+": 10, "-": 10, "*": 11,
+}
+
+
+def _expr(expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.IntLit):
+        value = f"{expr.value:#x}" if expr.value >= 10 else str(expr.value)
+        if expr.width is not None:
+            return f"{expr.width}w{value}"
+        return value
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Member):
+        return f"{_expr(expr.expr, 99)}.{expr.name}"
+    if isinstance(expr, ast.Slice):
+        return f"{_expr(expr.expr, 99)}[{expr.hi}:{expr.lo}]"
+    if isinstance(expr, ast.Cast):
+        return f"({expr.type}) {_expr(expr.expr, 98)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{_expr(expr.expr, 98)}"
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        text = (
+            f"{_expr(expr.left, prec)} {expr.op} {_expr(expr.right, prec + 1)}"
+        )
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.Ternary):
+        text = f"{_expr(expr.cond, 1)} ? {_expr(expr.then)} : {_expr(expr.orelse)}"
+        if parent_prec > 0:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.MethodCall):
+        args = ", ".join(_expr(a) for a in expr.args)
+        if expr.target is not None:
+            return f"{_expr(expr.target, 99)}.{expr.method}({args})"
+        return f"{expr.method}({args})"
+    raise TypeError(f"cannot print expression {expr!r}")

@@ -1,0 +1,12 @@
+"""Evaluation program corpus: the paper's programs rebuilt in the P4 subset."""
+
+from repro.programs import dash, fig3, fig5, middleblock, scion, sketches
+from repro.programs import switch_kitchen_sink
+from repro.programs.registry import (
+    CORPUS,
+    CorpusEntry,
+    TABLE1_PROGRAMS,
+    TABLE2_PROGRAMS,
+    get,
+    load,
+)

@@ -1,0 +1,539 @@
+"""dash.p4 equivalent — the SONiC DASH overlay pipeline.
+
+DASH (509 statements by the paper's count) is the SDN appliance pipeline:
+direction lookup, ENI (elastic NIC) lookup, staged inbound/outbound ACL
+groups, VNET routing, CA→PA address mapping, VXLAN encap and per-ENI
+metering.  The staged ACLs and per-meter-bucket tables are generated, like
+the upstream program's macro-expanded stages.
+"""
+
+from __future__ import annotations
+
+HEADERS = """
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent;
+}
+
+header vxlan_t {
+    bit<8> flags;
+    bit<24> reserved;
+    bit<24> vni;
+    bit<8> reserved2;
+}
+
+header inner_ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header inner_ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    tcp_t tcp;
+    vxlan_t vxlan;
+    inner_ethernet_t inner_ethernet;
+    inner_ipv4_t inner_ipv4;
+}
+
+struct intrinsic_t {
+    bit<9> ingress_port;
+    bit<48> ingress_timestamp;
+}
+
+struct meta_t {
+    bit<9> egress_port;
+    bit<8> direction;
+    bit<16> eni_id;
+    bit<24> vnet_id;
+    bit<24> dst_vnet_id;
+    bit<8> acl_stage_done;
+    bit<8> acl_verdict;
+    bit<8> terminate_acl;
+    bit<32> overlay_dst;
+    bit<32> underlay_dst;
+    bit<32> underlay_src;
+    bit<24> encap_vni;
+    bit<48> overlay_dmac;
+    bit<8> routing_action;
+    bit<16> meter_class;
+    bit<16> meter_bucket;
+    bit<8> dropped_by_meter;
+    bit<16> l4_src_port;
+    bit<16> l4_dst_port;
+    bit<8> appliance_id;
+}
+"""
+
+PARSER = """
+parser DashParser(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {
+    state start {
+        pkt_extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt_extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17: parse_udp;
+            6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt_extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt_extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            4789: parse_vxlan;
+            default: accept;
+        }
+    }
+    state parse_vxlan {
+        pkt_extract(hdr.vxlan);
+        transition parse_inner_ethernet;
+    }
+    state parse_inner_ethernet {
+        pkt_extract(hdr.inner_ethernet);
+        transition select(hdr.inner_ethernet.ether_type) {
+            0x0800: parse_inner_ipv4;
+            default: accept;
+        }
+    }
+    state parse_inner_ipv4 {
+        pkt_extract(hdr.inner_ipv4);
+        transition accept;
+    }
+}
+"""
+
+
+def _acl_stage(direction: str, stage: int) -> str:
+    return f"""
+    table acl_{direction}_stage{stage} {{
+        key = {{
+            hdr.inner_ipv4.src_addr: ternary;
+            hdr.inner_ipv4.dst_addr: ternary;
+            hdr.inner_ipv4.protocol: ternary;
+            meta.l4_src_port: ternary;
+            meta.l4_dst_port: ternary;
+        }}
+        actions = {{
+            acl_permit;
+            acl_permit_and_continue;
+            acl_deny;
+            acl_deny_and_continue;
+        }}
+        default_action = acl_deny();
+        size = 1024;
+    }}"""
+
+
+def _acl_applies(direction: str, num_stages: int) -> str:
+    parts = []
+    for stage in range(num_stages):
+        parts.append(f"""
+            if (meta.terminate_acl == 0) {{
+                acl_{direction}_stage{stage}.apply();
+            }}""")
+    return "\n".join(parts)
+
+
+def _meter_section(num_buckets: int) -> tuple[str, str]:
+    decls = []
+    for b in range(num_buckets):
+        decls.append(f"""
+    table meter_bucket{b} {{
+        key = {{
+            meta.meter_class: exact;
+        }}
+        actions = {{
+            meter_allow;
+            meter_deny;
+        }}
+        default_action = meter_allow();
+        size = 32;
+    }}""")
+
+    def arm(b: int) -> str:
+        body = f"""
+            meter_bucket{b}.apply();"""
+        if b == num_buckets - 1:
+            return f"""
+        if (meta.meter_bucket == {b}) {{{body}
+        }}"""
+        return f"""
+        if (meta.meter_bucket == {b}) {{{body}
+        }} else {{{arm(b + 1)}
+        }}"""
+
+    return "\n".join(decls), arm(0) if num_buckets else ""
+
+
+def _eni_section(num_enis: int) -> tuple[str, str]:
+    """Per-ENI policy tables: QoS/bandwidth/flow-table configuration.
+
+    The upstream DASH program carries substantial per-ENI state; each ENI
+    slot here holds one policy table whose action programs several
+    per-tenant attributes at once.
+    """
+    decls = []
+    for e in range(num_enis):
+        decls.append(f"""
+    action set_eni{e}_policy(bit<16> bw_class, bit<16> flow_quota, bit<8> tcp_aging, bit<8> udp_aging, bit<16> mirror) {{
+        meta.meter_class = bw_class;
+        meta.meter_bucket = flow_quota;
+        meta.acl_stage_done = tcp_aging;
+        meta.dropped_by_meter = udp_aging;
+        meta.l4_src_port = mirror;
+    }}
+    table eni{e}_policy {{
+        key = {{
+            meta.vnet_id: exact;
+        }}
+        actions = {{
+            set_eni{e}_policy;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}""")
+
+    def arm(e: int) -> str:
+        body = f"""
+                eni{e}_policy.apply();"""
+        if e == num_enis - 1:
+            return f"""
+            if (meta.eni_id == {e}) {{{body}
+            }}"""
+        return f"""
+            if (meta.eni_id == {e}) {{{body}
+            }} else {{{arm(e + 1)}
+            }}"""
+
+    applies = f"""
+        if (meta.eni_id != 0) {{{arm(0) if num_enis else ""}
+        }}"""
+    return "\n".join(decls), applies
+
+
+def _ingress(num_acl_stages: int, num_meter_buckets: int, num_enis: int) -> str:
+    acl_decls = "\n".join(
+        _acl_stage(direction, stage)
+        for direction in ("outbound", "inbound")
+        for stage in range(num_acl_stages)
+    )
+    meter_decls, meter_applies = _meter_section(num_meter_buckets)
+    eni_decls, eni_applies = _eni_section(num_enis)
+    return f"""
+control DashIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action drop() {{
+        mark_to_drop();
+    }}
+    action noop() {{
+    }}
+    action set_direction(bit<8> direction) {{
+        meta.direction = direction;
+    }}
+    action set_appliance(bit<8> appliance_id) {{
+        meta.appliance_id = appliance_id;
+    }}
+    action set_eni(bit<16> eni_id, bit<24> vnet_id) {{
+        meta.eni_id = eni_id;
+        meta.vnet_id = vnet_id;
+    }}
+    action acl_permit() {{
+        meta.acl_verdict = 1;
+        meta.terminate_acl = 1;
+    }}
+    action acl_permit_and_continue() {{
+        meta.acl_verdict = 1;
+    }}
+    action acl_deny() {{
+        meta.acl_verdict = 0;
+        meta.terminate_acl = 1;
+        mark_to_drop();
+    }}
+    action acl_deny_and_continue() {{
+        meta.acl_verdict = 0;
+    }}
+    action route_vnet(bit<24> dst_vnet_id, bit<16> meter_class) {{
+        meta.dst_vnet_id = dst_vnet_id;
+        meta.routing_action = 1;
+        meta.meter_class = meter_class;
+    }}
+    action route_direct() {{
+        meta.routing_action = 2;
+    }}
+    action route_drop() {{
+        meta.routing_action = 0;
+        mark_to_drop();
+    }}
+    action set_ca_pa_mapping(bit<32> underlay_dst, bit<48> overlay_dmac, bit<24> vni) {{
+        meta.underlay_dst = underlay_dst;
+        meta.overlay_dmac = overlay_dmac;
+        meta.encap_vni = vni;
+    }}
+    action set_meter_bucket(bit<16> bucket) {{
+        meta.meter_bucket = bucket;
+    }}
+    action meter_allow() {{
+        meta.dropped_by_meter = 0;
+    }}
+    action meter_deny() {{
+        meta.dropped_by_meter = 1;
+        mark_to_drop();
+    }}
+    action tunnel_decap() {{
+        meta.overlay_dst = hdr.inner_ipv4.dst_addr;
+    }}
+
+    table direction_lookup {{
+        key = {{
+            hdr.vxlan.vni: exact;
+        }}
+        actions = {{
+            set_direction;
+            drop;
+        }}
+        default_action = drop();
+        size = 64;
+    }}
+    table appliance_table {{
+        key = {{
+            intr.ingress_port: ternary;
+        }}
+        actions = {{
+            set_appliance;
+            noop;
+        }}
+        default_action = noop();
+        size = 8;
+    }}
+    table eni_lookup_from_vm {{
+        key = {{
+            hdr.inner_ethernet.src_addr: exact;
+        }}
+        actions = {{
+            set_eni;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table eni_lookup_to_vm {{
+        key = {{
+            hdr.inner_ethernet.dst_addr: exact;
+        }}
+        actions = {{
+            set_eni;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table outbound_routing {{
+        key = {{
+            meta.eni_id: exact;
+            hdr.inner_ipv4.dst_addr: lpm;
+        }}
+        actions = {{
+            route_vnet;
+            route_direct;
+            route_drop;
+        }}
+        default_action = route_drop();
+        size = 32768;
+    }}
+    table outbound_ca_to_pa {{
+        key = {{
+            meta.dst_vnet_id: exact;
+            hdr.inner_ipv4.dst_addr: exact;
+        }}
+        actions = {{
+            set_ca_pa_mapping;
+            drop;
+        }}
+        default_action = drop();
+        size = 32768;
+    }}
+    table inbound_routing {{
+        key = {{
+            hdr.vxlan.vni: exact;
+            hdr.ipv4.src_addr: ternary;
+        }}
+        actions = {{
+            tunnel_decap;
+            drop;
+        }}
+        default_action = drop();
+        size = 4096;
+    }}
+    table vnet_table {{
+        key = {{
+            meta.vnet_id: exact;
+        }}
+        actions = {{
+            noop;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table meter_policy {{
+        key = {{
+            meta.eni_id: exact;
+            hdr.inner_ipv4.dst_addr: ternary;
+        }}
+        actions = {{
+            set_meter_bucket;
+            noop;
+        }}
+        default_action = noop();
+        size = 4096;
+    }}
+{acl_decls}
+{meter_decls}
+{eni_decls}
+
+    apply {{
+        if (hdr.tcp.isValid()) {{
+            meta.l4_src_port = hdr.tcp.src_port;
+            meta.l4_dst_port = hdr.tcp.dst_port;
+        }} else {{
+            if (hdr.udp.isValid()) {{
+                meta.l4_src_port = hdr.udp.src_port;
+                meta.l4_dst_port = hdr.udp.dst_port;
+            }}
+        }}
+        appliance_table.apply();
+        if (hdr.vxlan.isValid()) {{
+            direction_lookup.apply();
+            if (meta.direction == 1) {{
+                eni_lookup_from_vm.apply();
+                vnet_table.apply();
+{eni_applies}
+{_acl_applies("outbound", num_acl_stages)}
+                if (meta.acl_verdict == 1) {{
+                    outbound_routing.apply();
+                    if (meta.routing_action == 1) {{
+                        outbound_ca_to_pa.apply();
+                        meter_policy.apply();
+{meter_applies}
+                    }}
+                }}
+            }} else {{
+                eni_lookup_to_vm.apply();
+                inbound_routing.apply();
+{_acl_applies("inbound", num_acl_stages)}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _egress() -> str:
+    return """
+control DashEgress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {
+    action noop() {
+    }
+    action vxlan_encap(bit<32> underlay_src, bit<9> port) {
+        meta.underlay_src = underlay_src;
+        meta.egress_port = port;
+        hdr.ipv4.dst_addr = meta.underlay_dst;
+        hdr.ipv4.src_addr = meta.underlay_src;
+        hdr.vxlan.vni = meta.encap_vni;
+        hdr.inner_ethernet.dst_addr = meta.overlay_dmac;
+    }
+    table underlay_source {
+        key = {
+            meta.appliance_id: exact;
+        }
+        actions = {
+            vxlan_encap;
+            noop;
+        }
+        default_action = noop();
+        size = 8;
+    }
+
+    apply {
+        if (meta.routing_action == 1) {
+            underlay_source.apply();
+            update_checksum(hdr.ipv4.hdr_checksum, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, hdr.ipv4.ttl);
+        }
+    }
+}
+"""
+
+
+def source(
+    num_acl_stages: int = 6,
+    num_meter_buckets: int = 27,
+    num_enis: int = 40,
+) -> str:
+    return (
+        HEADERS
+        + PARSER
+        + _ingress(num_acl_stages, num_meter_buckets, num_enis)
+        + _egress()
+        + "\nPipeline(DashParser(), DashIngress(), DashEgress()) main;\n"
+    )

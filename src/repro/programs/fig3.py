@@ -1,0 +1,57 @@
+"""The paper's Fig. 3 program: one ternary table whose implementation
+evolves (impl. A → D) as control-plane entries arrive."""
+
+FIG3_SOURCE = """
+header eth_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+
+struct headers_t {
+    eth_t eth;
+}
+
+struct meta_t {
+    bit<8> unused;
+}
+
+parser Fig3Parser(inout headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt_extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control Fig3Ingress(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<16> type) {
+        hdr.eth.type = type;
+    }
+    action drop() {
+        mark_to_drop();
+    }
+    action noop() {
+    }
+    table eth_table {
+        key = {
+            hdr.eth.dst: ternary;
+        }
+        actions = {
+            set;
+            drop;
+            noop;
+        }
+        default_action = noop();
+        size = 512;
+    }
+    apply {
+        eth_table.apply();
+    }
+}
+
+Pipeline(Fig3Parser(), Fig3Ingress()) main;
+"""
+
+
+def source() -> str:
+    return FIG3_SOURCE

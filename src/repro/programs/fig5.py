@@ -1,0 +1,54 @@
+"""The paper's Fig. 5 program: ``egress_port`` set through ``port_table``."""
+
+FIG5_SOURCE = """
+header eth_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+
+struct headers_t {
+    eth_t eth;
+}
+
+struct meta_t {
+    bit<9> egress_port;
+}
+
+parser Fig5Parser(inout headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt_extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control Fig5Ingress(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<9> port_var) {
+        meta.egress_port = port_var;
+    }
+    action noop() {
+    }
+    table port_table {
+        key = {
+            hdr.eth.dst: exact;
+        }
+        actions = {
+            set;
+            noop;
+        }
+        default_action = noop();
+        size = 1024;
+    }
+    apply {
+        meta.egress_port = 0;
+        port_table.apply();
+        hdr.eth.dst = meta.egress_port == 0 ? 48w0xAAAAAAAAAAAA : 48w0xBBBBBBBBBBBB;
+    }
+}
+
+Pipeline(Fig5Parser(), Fig5Ingress()) main;
+"""
+
+
+def source() -> str:
+    return FIG5_SOURCE

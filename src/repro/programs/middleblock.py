@@ -1,0 +1,757 @@
+"""middleblock.p4 equivalent — Google's SAI P4 middleblock model.
+
+The paper uses this program (346 statements) for Table 3: its
+**pre-ingress ACL** matches on many wide ternary fields at once, so the
+precise control-plane encoding blows up as entries accumulate — the
+worst case for Flay's update analysis and the motivation for the
+overapproximation threshold.
+
+Structure mirrors sonic-pins' ``middleblock.p4``: pre-ingress ACL (VRF
+assignment), L3 admit, IPv4/IPv6 routing, WCMP groups, neighbor/router
+interface tables, ingress/egress ACLs, and mirroring.
+"""
+
+from __future__ import annotations
+
+HEADERS = """
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4> version;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<64> src_addr_hi;
+    bit<64> src_addr_lo;
+    bit<64> dst_addr_hi;
+    bit<64> dst_addr_lo;
+}
+
+header icmp_t {
+    bit<8> type;
+    bit<8> code;
+    bit<16> checksum;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    icmp_t icmp;
+    tcp_t tcp;
+    udp_t udp;
+}
+
+struct intrinsic_t {
+    bit<9> ingress_port;
+    bit<48> ingress_timestamp;
+}
+
+struct meta_t {
+    bit<9> egress_port;
+    bit<16> vrf_id;
+    bit<8> admit_to_l3;
+    bit<16> nexthop_id;
+    bit<16> wcmp_group_id;
+    bit<8> wcmp_offset;
+    bit<16> router_interface_id;
+    bit<16> neighbor_id;
+    bit<48> src_mac;
+    bit<48> dst_mac;
+    bit<8> acl_drop;
+    bit<16> mirror_session_id;
+    bit<8> marked_dscp;
+    bit<16> l4_src_port;
+    bit<16> l4_dst_port;
+    bit<16> hash_value;
+    bit<8> ttl_checked;
+    bit<8> cpu_queue;
+    bit<8> punt_reason;
+    bit<16> policer_index;
+    bit<8> port_profile;
+    bit<8> tunnel_terminate;
+    bit<16> tunnel_vrf;
+}
+"""
+
+PARSER = """
+parser MiddleblockParser(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {
+    state start {
+        pkt_extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt_extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            1: parse_icmp;
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt_extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            58: parse_icmp;
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_icmp {
+        pkt_extract(hdr.icmp);
+        transition accept;
+    }
+    state parse_tcp {
+        pkt_extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt_extract(hdr.udp);
+        transition accept;
+    }
+}
+"""
+
+
+
+def _cpu_queue_section(num_queues: int) -> tuple[str, str]:
+    """Per-CPU-queue punt policers (SAI QOS_QUEUE objects)."""
+    decls = []
+    for q in range(num_queues):
+        decls.append(f"""
+    table cpu_queue{q}_policer {{
+        key = {{
+            meta.punt_reason: exact;
+        }}
+        actions = {{
+            set_policer;
+            noop;
+        }}
+        default_action = noop();
+        size = 16;
+    }}""")
+
+    def arm(q: int) -> str:
+        body = f"""
+                cpu_queue{q}_policer.apply();"""
+        if q == num_queues - 1:
+            return f"""
+            if (meta.cpu_queue == {q}) {{{body}
+            }}"""
+        return f"""
+            if (meta.cpu_queue == {q}) {{{body}
+            }} else {{{arm(q + 1)}
+            }}"""
+
+    applies = f"""
+        if (meta.punt_reason != 0) {{{arm(0) if num_queues else ""}
+        }}"""
+    return "\n".join(decls), applies
+
+
+def _port_profile_section(num_profiles: int) -> tuple[str, str]:
+    """Per-port-profile ingress configuration tables."""
+    decls = []
+    for p in range(num_profiles):
+        decls.append(f"""
+    table port_profile{p}_conf {{
+        key = {{
+            intr.ingress_port: exact;
+        }}
+        actions = {{
+            set_port_profile;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}""")
+
+    def arm(p: int) -> str:
+        body = f"""
+            port_profile{p}_conf.apply();"""
+        if p == num_profiles - 1:
+            return f"""
+        if (intr.ingress_port[8:5] == {p}) {{{body}
+        }}"""
+        return f"""
+        if (intr.ingress_port[8:5] == {p}) {{{body}
+        }} else {{{arm(p + 1)}
+        }}"""
+
+    return "\n".join(decls), arm(0) if num_profiles else ""
+
+
+TUNNEL_TERM_SECTION = """
+    action terminate_tunnel(bit<16> tunnel_vrf) {
+        meta.tunnel_terminate = 1;
+        meta.tunnel_vrf = tunnel_vrf;
+    }
+    action set_punt(bit<8> reason, bit<8> queue) {
+        meta.punt_reason = reason;
+        meta.cpu_queue = queue;
+    }
+    action set_policer(bit<16> index) {
+        meta.policer_index = index;
+    }
+    action set_port_profile(bit<8> profile) {
+        meta.port_profile = profile;
+    }
+    table ipv4_tunnel_termination {
+        key = {
+            hdr.ipv4.src_addr: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            hdr.ipv4.protocol: ternary;
+        }
+        actions = {
+            terminate_tunnel;
+            noop;
+        }
+        default_action = noop();
+        size = 128;
+    }
+    table acl_punt {
+        key = {
+            hdr.ethernet.ether_type: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            hdr.icmp.type: ternary;
+            meta.l4_dst_port: ternary;
+        }
+        actions = {
+            set_punt;
+            noop;
+        }
+        default_action = noop();
+        size = 256;
+    }
+"""
+
+TUNNEL_TERM_APPLY = """
+        if (hdr.ipv4.isValid()) {
+            ipv4_tunnel_termination.apply();
+            if (meta.tunnel_terminate == 1) {
+                meta.vrf_id = meta.tunnel_vrf;
+            }
+        }
+        acl_punt.apply();
+"""
+
+
+def _ingress(num_cpu_queues: int, num_port_profiles: int) -> str:
+    cpu_decls, cpu_applies = _cpu_queue_section(num_cpu_queues)
+    port_decls, port_applies = _port_profile_section(num_port_profiles)
+    return INGRESS_TEMPLATE.format(
+        cpu_decls=cpu_decls,
+        cpu_applies=cpu_applies,
+        port_decls=port_decls,
+        port_applies=port_applies,
+        tunnel_section=TUNNEL_TERM_SECTION,
+        tunnel_apply=TUNNEL_TERM_APPLY,
+    )
+
+
+INGRESS_TEMPLATE = """
+control MiddleblockIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action drop() {{
+        mark_to_drop();
+    }}
+    action noop() {{
+    }}
+    action set_vrf(bit<16> vrf_id) {{
+        meta.vrf_id = vrf_id;
+    }}
+    action admit_to_l3() {{
+        meta.admit_to_l3 = 1;
+    }}
+    action set_nexthop_id(bit<16> nexthop_id) {{
+        meta.nexthop_id = nexthop_id;
+    }}
+    action set_wcmp_group(bit<16> group_id) {{
+        meta.wcmp_group_id = group_id;
+    }}
+    action set_nexthop(bit<16> router_interface_id, bit<16> neighbor_id) {{
+        meta.router_interface_id = router_interface_id;
+        meta.neighbor_id = neighbor_id;
+    }}
+    action set_dst_mac(bit<48> dst_mac) {{
+        meta.dst_mac = dst_mac;
+    }}
+    action set_port_and_src_mac(bit<9> port, bit<48> src_mac) {{
+        meta.egress_port = port;
+        meta.src_mac = src_mac;
+    }}
+    action acl_copy(bit<16> session) {{
+        meta.mirror_session_id = session;
+    }}
+    action acl_trap(bit<16> session) {{
+        meta.mirror_session_id = session;
+        mark_to_drop();
+    }}
+    action acl_forward() {{
+        meta.acl_drop = 0;
+    }}
+    action acl_mirror(bit<16> session) {{
+        meta.mirror_session_id = session;
+    }}
+    action acl_drop_action() {{
+        meta.acl_drop = 1;
+        mark_to_drop();
+    }}
+    action set_dscp(bit<8> dscp) {{
+        meta.marked_dscp = dscp;
+    }}
+
+    table acl_pre_ingress {{
+        key = {{
+            hdr.ethernet.src_addr: ternary;
+            hdr.ethernet.dst_addr: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            hdr.ipv4.src_addr: ternary;
+            hdr.ipv4.dscp: ternary;
+            hdr.ipv4.protocol: ternary;
+            intr.ingress_port: ternary;
+        }}
+        actions = {{
+            set_vrf;
+            noop;
+        }}
+        default_action = noop();
+        size = 255;
+    }}
+    table l3_admit {{
+        key = {{
+            hdr.ethernet.dst_addr: ternary;
+            intr.ingress_port: ternary;
+        }}
+        actions = {{
+            admit_to_l3;
+            noop;
+        }}
+        default_action = noop();
+        size = 128;
+    }}
+    table ipv4_route {{
+        key = {{
+            meta.vrf_id: exact;
+            hdr.ipv4.dst_addr: lpm;
+        }}
+        actions = {{
+            set_nexthop_id;
+            set_wcmp_group;
+            drop;
+        }}
+        default_action = drop();
+        size = 65536;
+    }}
+    table ipv6_route {{
+        key = {{
+            meta.vrf_id: exact;
+            hdr.ipv6.dst_addr_hi: lpm;
+        }}
+        actions = {{
+            set_nexthop_id;
+            set_wcmp_group;
+            drop;
+        }}
+        default_action = drop();
+        size = 65536;
+    }}
+    table wcmp_group {{
+        key = {{
+            meta.wcmp_group_id: exact;
+            meta.wcmp_offset: exact;
+        }}
+        actions = {{
+            set_nexthop_id;
+            noop;
+        }}
+        default_action = noop();
+        size = 4096;
+    }}
+    table nexthop_table {{
+        key = {{
+            meta.nexthop_id: exact;
+        }}
+        actions = {{
+            set_nexthop;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table neighbor_table {{
+        key = {{
+            meta.router_interface_id: exact;
+            meta.neighbor_id: exact;
+        }}
+        actions = {{
+            set_dst_mac;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table router_interface_table {{
+        key = {{
+            meta.router_interface_id: exact;
+        }}
+        actions = {{
+            set_port_and_src_mac;
+            drop;
+        }}
+        default_action = drop();
+        size = 256;
+    }}
+    table acl_ingress {{
+        key = {{
+            hdr.ethernet.ether_type: ternary;
+            hdr.ipv4.src_addr: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            hdr.ipv4.ttl: ternary;
+            meta.l4_src_port: ternary;
+            meta.l4_dst_port: ternary;
+            hdr.icmp.type: ternary;
+        }}
+        actions = {{
+            acl_copy;
+            acl_trap;
+            acl_forward;
+            acl_mirror;
+            acl_drop_action;
+        }}
+        default_action = acl_forward();
+        size = 512;
+    }}
+    table acl_wbb_ingress {{
+        key = {{
+            hdr.ipv4.ttl: ternary;
+            hdr.ethernet.ether_type: ternary;
+            hdr.ipv4.protocol: ternary;
+        }}
+        actions = {{
+            acl_copy;
+            acl_drop_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 128;
+    }}
+{port_decls}
+{cpu_decls}
+{tunnel_section}
+    action set_ecn(bit<2> ecn) {{
+        hdr.ipv4.ecn = ecn;
+    }}
+    action set_member(bit<8> member) {{
+        meta.port_profile = member;
+    }}
+    action rate_limit_punt(bit<16> index, bit<8> queue) {{
+        meta.policer_index = index;
+        meta.cpu_queue = queue;
+    }}
+    table ipv6_tunnel_termination {{
+        key = {{
+            hdr.ipv6.src_addr_hi: ternary;
+            hdr.ipv6.dst_addr_hi: ternary;
+            hdr.ipv6.next_hdr: ternary;
+        }}
+        actions = {{
+            terminate_tunnel;
+            noop;
+        }}
+        default_action = noop();
+        size = 128;
+    }}
+    table ecn_marking {{
+        key = {{
+            hdr.ipv4.ecn: exact;
+            hdr.ipv4.dscp: ternary;
+        }}
+        actions = {{
+            set_ecn;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}
+    table vlan_membership {{
+        key = {{
+            intr.ingress_port: exact;
+            hdr.ethernet.src_addr: exact;
+        }}
+        actions = {{
+            set_member;
+            drop;
+        }}
+        default_action = drop();
+        size = 1024;
+    }}
+    table icmp_rate_limit {{
+        key = {{
+            hdr.icmp.type: exact;
+            hdr.icmp.code: exact;
+        }}
+        actions = {{
+            rate_limit_punt;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}
+    table acl_linkqual {{
+        key = {{
+            hdr.ethernet.ether_type: ternary;
+            intr.ingress_port: ternary;
+            hdr.ipv4.dscp: ternary;
+        }}
+        actions = {{
+            acl_copy;
+            acl_drop_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}
+    table dscp_remark {{
+        key = {{
+            hdr.ipv4.dscp: exact;
+        }}
+        actions = {{
+            set_dscp;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}
+
+    apply {{
+        if (hdr.tcp.isValid()) {{
+            meta.l4_src_port = hdr.tcp.src_port;
+            meta.l4_dst_port = hdr.tcp.dst_port;
+        }} else {{
+            if (hdr.udp.isValid()) {{
+                meta.l4_src_port = hdr.udp.src_port;
+                meta.l4_dst_port = hdr.udp.dst_port;
+            }}
+        }}
+{port_applies}
+        acl_pre_ingress.apply();
+{tunnel_apply}
+        l3_admit.apply();
+        if (meta.admit_to_l3 == 1) {{
+            if (hdr.ipv4.isValid()) {{
+                if (hdr.ipv4.ttl <= 1) {{
+                    drop();
+                }} else {{
+                    meta.ttl_checked = 1;
+                    ipv4_route.apply();
+                }}
+            }} else {{
+                if (hdr.ipv6.isValid()) {{
+                    if (hdr.ipv6.hop_limit <= 1) {{
+                        drop();
+                    }} else {{
+                        meta.ttl_checked = 1;
+                        ipv6_route.apply();
+                    }}
+                }}
+            }}
+            if (meta.wcmp_group_id != 0) {{
+                hash(meta.hash_value, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, meta.l4_src_port, meta.l4_dst_port);
+                meta.wcmp_offset = (bit<8>) meta.hash_value;
+                wcmp_group.apply();
+            }}
+            if (meta.nexthop_id != 0) {{
+                nexthop_table.apply();
+                neighbor_table.apply();
+                router_interface_table.apply();
+                hdr.ethernet.src_addr = meta.src_mac;
+                hdr.ethernet.dst_addr = meta.dst_mac;
+                if (hdr.ipv4.isValid()) {{
+                    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                }}
+                if (hdr.ipv6.isValid()) {{
+                    hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+                }}
+            }}
+        }}
+        acl_ingress.apply();
+        acl_wbb_ingress.apply();
+        vlan_membership.apply();
+        acl_linkqual.apply();
+        if (hdr.ipv6.isValid()) {{
+            ipv6_tunnel_termination.apply();
+            if (meta.tunnel_terminate == 1) {{
+                meta.vrf_id = meta.tunnel_vrf;
+            }}
+        }}
+        if (hdr.icmp.isValid()) {{
+            icmp_rate_limit.apply();
+        }}
+        if (hdr.ipv4.isValid()) {{
+            ecn_marking.apply();
+        }}
+
+        if (hdr.ipv4.isValid()) {{
+            dscp_remark.apply();
+        }}
+{cpu_applies}
+    }}
+}}
+"""
+
+def _egress(num_sched_queues: int) -> str:
+    decls = []
+    for q in range(num_sched_queues):
+        decls.append(f"""
+    table sched_queue{q}_conf {{
+        key = {{
+            meta.egress_port: exact;
+        }}
+        actions = {{
+            set_sched_weight;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}""")
+
+    def arm(q: int) -> str:
+        body = f"""
+            sched_queue{q}_conf.apply();"""
+        if q == num_sched_queues - 1:
+            return f"""
+        if (meta.cpu_queue == {q}) {{{body}
+        }}"""
+        return f"""
+        if (meta.cpu_queue == {q}) {{{body}
+        }} else {{{arm(q + 1)}
+        }}"""
+
+    return EGRESS_TEMPLATE.format(
+        sched_decls="\n".join(decls),
+        sched_applies=arm(0) if num_sched_queues else "",
+    )
+
+
+EGRESS_TEMPLATE = """
+control MiddleblockEgress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action noop() {{
+    }}
+    action drop() {{
+        mark_to_drop();
+    }}
+    action acl_egress_forward() {{
+        meta.acl_drop = 0;
+    }}
+    action mirror_encap(bit<32> mirror_dst, bit<16> mirror_port) {{
+        meta.mirror_session_id = mirror_port;
+        meta.hash_value = (bit<16>) mirror_dst;
+    }}
+
+    action set_sched_weight(bit<8> weight) {{
+        meta.port_profile = weight;
+    }}
+{sched_decls}
+    table acl_egress {{
+        key = {{
+            hdr.ethernet.ether_type: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            meta.egress_port: ternary;
+        }}
+        actions = {{
+            acl_egress_forward;
+            drop;
+        }}
+        default_action = acl_egress_forward();
+        size = 128;
+    }}
+    table mirror_session_table {{
+        key = {{
+            meta.mirror_session_id: exact;
+        }}
+        actions = {{
+            mirror_encap;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}
+
+    apply {{
+        acl_egress.apply();
+{sched_applies}
+        if (meta.mirror_session_id != 0) {{
+            mirror_session_table.apply();
+        }}
+        if (hdr.ipv4.isValid()) {{
+            update_checksum(hdr.ipv4.hdr_checksum, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, hdr.ipv4.ttl);
+        }}
+    }}
+}}
+"""
+
+
+def source(
+    num_cpu_queues: int = 32,
+    num_port_profiles: int = 16,
+    num_sched_queues: int = 28,
+) -> str:
+    return (
+        HEADERS
+        + PARSER
+        + _ingress(num_cpu_queues, num_port_profiles)
+        + _egress(num_sched_queues)
+        + "\nPipeline(MiddleblockParser(), MiddleblockIngress(), MiddleblockEgress()) main;\n"
+    )
+
+
+#: The complex table Table 3 stresses.
+PRE_INGRESS_ACL = "MiddleblockIngress.acl_pre_ingress"

@@ -1,0 +1,100 @@
+"""Program corpus registry: every evaluation program in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.p4 import ast_nodes as ast
+from repro.p4.parser import parse_program
+from repro.programs import dash, fig3, fig5, middleblock, scion, sketches
+from repro.programs import switch_kitchen_sink
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One evaluation program plus the paper's published reference numbers."""
+
+    name: str
+    source_fn: Callable[[], str]
+    # Paper reference points (None where the paper reports none).
+    paper_statements: Optional[int] = None
+    paper_compile_seconds: Optional[float] = None  # Table 1 / Table 2
+    paper_analysis_seconds: Optional[float] = None  # Table 2
+    paper_update_ms: Optional[float] = None  # Table 2
+    # Analysis options matching the paper's setup.
+    skip_parser: bool = False
+
+    def source(self) -> str:
+        return self.source_fn()
+
+    def parse(self) -> ast.Program:
+        return parse_program(self.source_fn())
+
+
+CORPUS: dict[str, CorpusEntry] = {
+    "scion": CorpusEntry(
+        name="scion",
+        source_fn=scion.source,
+        paper_statements=582,
+        paper_compile_seconds=38.0,
+        paper_analysis_seconds=2.0,
+        paper_update_ms=90.0,
+    ),
+    "switch": CorpusEntry(
+        name="switch",
+        source_fn=switch_kitchen_sink.source,
+        paper_statements=786,
+        paper_compile_seconds=106.0,
+        paper_analysis_seconds=9.0,
+        paper_update_ms=90.0,
+        skip_parser=True,  # §4.2: parser analysis skipped for switch.p4
+    ),
+    "middleblock": CorpusEntry(
+        name="middleblock",
+        source_fn=middleblock.source,
+        paper_statements=346,
+        paper_compile_seconds=2.0,
+        paper_analysis_seconds=0.6,
+        paper_update_ms=5.0,
+    ),
+    "dash": CorpusEntry(
+        name="dash",
+        source_fn=dash.source,
+        paper_statements=509,
+        paper_compile_seconds=2.0,
+        paper_analysis_seconds=1.5,
+        paper_update_ms=12.0,
+    ),
+    "beaucoup": CorpusEntry(
+        name="beaucoup",
+        source_fn=sketches.beaucoup_source,
+        paper_compile_seconds=22.0,
+    ),
+    "accturbo": CorpusEntry(
+        name="accturbo",
+        source_fn=sketches.accturbo_source,
+        paper_compile_seconds=28.0,
+    ),
+    "dta": CorpusEntry(
+        name="dta",
+        source_fn=sketches.dta_source,
+        paper_compile_seconds=25.0,
+    ),
+    "fig3": CorpusEntry(name="fig3", source_fn=fig3.source),
+    "fig5": CorpusEntry(name="fig5", source_fn=fig5.source),
+}
+
+#: Programs in the paper's Table 1 (bf-p4c compile times), in table order.
+TABLE1_PROGRAMS = ("switch", "scion", "beaucoup", "accturbo", "dta")
+
+#: Programs in the paper's Table 2 (Flay evaluation times), in table order.
+TABLE2_PROGRAMS = ("scion", "switch", "middleblock", "dash")
+
+
+def get(name: str) -> CorpusEntry:
+    return CORPUS[name]
+
+
+def load(name: str) -> ast.Program:
+    return CORPUS[name].parse()

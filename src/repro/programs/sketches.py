@@ -1,0 +1,389 @@
+"""The Table 1 telemetry programs: Beaucoup, ACCTurbo, and DTA.
+
+These are register/hash-heavy sketch programs (bf-p4c: 22 s, 28 s, 25 s).
+We model their published structure:
+
+* **Beaucoup** — multi-query coupon collector: per-query key extraction
+  tables, one coupon draw per packet (hash → coupon), register-backed
+  coupon tables and an activation threshold.
+* **ACCTurbo** — online packet clustering for pulse-wave DDoS defense:
+  sketch-based clustering of src/dst prefixes into a fixed set of
+  clusters, per-cluster counters, and priority-based scheduling.
+* **DTA** — Direct Telemetry Access: translates telemetry reports into
+  RDMA-style writes; key-write/append primitives with per-primitive
+  redundancy tables.
+"""
+
+from __future__ import annotations
+
+_COMMON_HEADERS = """
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    tcp_t tcp;
+    udp_t udp;
+}
+
+struct intrinsic_t {
+    bit<9> ingress_port;
+    bit<48> ingress_timestamp;
+}
+"""
+
+_COMMON_PARSER = """
+parser {name}(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    state start {{
+        pkt_extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {{
+            0x0800: parse_ipv4;
+            default: accept;
+        }}
+    }}
+    state parse_ipv4 {{
+        pkt_extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {{
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }}
+    }}
+    state parse_tcp {{
+        pkt_extract(hdr.tcp);
+        transition accept;
+    }}
+    state parse_udp {{
+        pkt_extract(hdr.udp);
+        transition accept;
+    }}
+}}
+"""
+
+
+def beaucoup_source(num_queries: int = 8) -> str:
+    meta = """
+struct meta_t {
+    bit<16> query_id;
+    bit<32> coupon_index;
+    bit<16> coupon_id;
+    bit<8> coupon_hit;
+    bit<32> collector_key;
+    bit<32> coupon_word;
+    bit<8> activated;
+    bit<16> l4_dst_port;
+}
+"""
+    query_tables = "\n".join(
+        f"""
+    table query{q}_keydef {{
+        key = {{
+            hdr.ipv4.protocol: exact;
+            meta.l4_dst_port: ternary;
+        }}
+        actions = {{
+            set_query;
+            noop;
+        }}
+        default_action = noop();
+        size = 16;
+    }}"""
+        for q in range(num_queries)
+    )
+
+    def arm(q: int) -> str:
+        body = f"""
+            query{q}_keydef.apply();"""
+        if q == num_queries - 1:
+            return f"""
+        if (hdr.ipv4.ttl[{min(q, 7)}:{min(q, 7)}] == 1) {{{body}
+        }}"""
+        return f"""
+        if (hdr.ipv4.ttl[{min(q, 7)}:{min(q, 7)}] == 1) {{{body}
+        }} else {{{arm(q + 1)}
+        }}"""
+
+    ingress = f"""
+control BeaucoupIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    register<bit<32>>(65536) coupon_table;
+    register<bit<32>>(4096) activation_table;
+
+    action noop() {{
+    }}
+    action set_query(bit<16> query_id, bit<16> coupon_id) {{
+        meta.query_id = query_id;
+        meta.coupon_id = coupon_id;
+    }}
+    action set_threshold(bit<32> threshold) {{
+        meta.coupon_word = threshold;
+    }}
+    table coupon_draw {{
+        key = {{
+            meta.query_id: exact;
+            meta.coupon_id: exact;
+        }}
+        actions = {{
+            set_threshold;
+            noop;
+        }}
+        default_action = noop();
+        size = 256;
+    }}
+{query_tables}
+
+    apply {{
+        if (hdr.tcp.isValid()) {{
+            meta.l4_dst_port = hdr.tcp.dst_port;
+        }} else {{
+            if (hdr.udp.isValid()) {{
+                meta.l4_dst_port = hdr.udp.dst_port;
+            }}
+        }}
+{arm(0)}
+        if (meta.query_id != 0) {{
+            hash(meta.coupon_index, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, meta.query_id);
+            coupon_draw.apply();
+            coupon_table.read(meta.coupon_word, meta.coupon_index);
+            meta.coupon_word = meta.coupon_word | 1;
+            coupon_table.write(meta.coupon_index, meta.coupon_word);
+            if (meta.coupon_word == 0xFFFFFFFF) {{
+                meta.activated = 1;
+                activation_table.write((bit<32>) meta.query_id, meta.coupon_word);
+            }}
+        }}
+    }}
+}}
+"""
+    return (
+        _COMMON_HEADERS
+        + meta
+        + _COMMON_PARSER.format(name="BeaucoupParser")
+        + ingress
+        + "\nPipeline(BeaucoupParser(), BeaucoupIngress()) main;\n"
+    )
+
+
+def accturbo_source(num_clusters: int = 8) -> str:
+    meta = """
+struct meta_t {
+    bit<8> cluster_id;
+    bit<32> distance;
+    bit<32> best_distance;
+    bit<8> best_cluster;
+    bit<32> src_prefix;
+    bit<32> dst_prefix;
+    bit<8> priority;
+    bit<32> counter_value;
+    bit<16> l4_dst_port;
+}
+"""
+    cluster_sections = "\n".join(
+        f"""
+    register<bit<32>>(4) cluster{c}_center;
+    register<bit<32>>(4) cluster{c}_count;
+    action select_cluster{c}() {{
+        meta.best_cluster = {c};
+        meta.best_distance = meta.distance;
+    }}
+    table cluster{c}_ranges {{
+        key = {{
+            meta.src_prefix: ternary;
+            meta.dst_prefix: ternary;
+        }}
+        actions = {{
+            select_cluster{c};
+            noop;
+        }}
+        default_action = noop();
+        size = 4;
+    }}"""
+        for c in range(num_clusters)
+    )
+    cluster_applies = "\n".join(
+        f"""
+        cluster{c}_ranges.apply();
+        cluster{c}_count.read(meta.counter_value, 0);
+        cluster{c}_count.write(0, meta.counter_value + 1);"""
+        for c in range(num_clusters)
+    )
+    ingress = f"""
+control AccTurboIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action noop() {{
+    }}
+    action set_priority(bit<8> priority) {{
+        meta.priority = priority;
+    }}
+    action drop() {{
+        mark_to_drop();
+    }}
+    table priority_schedule {{
+        key = {{
+            meta.best_cluster: exact;
+        }}
+        actions = {{
+            set_priority;
+            drop;
+        }}
+        default_action = set_priority(0);
+        size = 16;
+    }}
+{cluster_sections}
+
+    apply {{
+        meta.src_prefix = hdr.ipv4.src_addr & 0xFFFFFF00;
+        meta.dst_prefix = hdr.ipv4.dst_addr & 0xFFFFFF00;
+        meta.best_distance = 0xFFFFFFFF;
+{cluster_applies}
+        priority_schedule.apply();
+        if (meta.priority == 0) {{
+            hdr.ipv4.diffserv = 0;
+        }} else {{
+            hdr.ipv4.diffserv = meta.priority;
+        }}
+    }}
+}}
+"""
+    return (
+        _COMMON_HEADERS
+        + meta
+        + _COMMON_PARSER.format(name="AccTurboParser")
+        + ingress
+        + "\nPipeline(AccTurboParser(), AccTurboIngress()) main;\n"
+    )
+
+
+def dta_source(num_slots: int = 4) -> str:
+    meta = """
+struct meta_t {
+    bit<32> telemetry_key;
+    bit<32> telemetry_value;
+    bit<32> rdma_address;
+    bit<32> slot_index;
+    bit<8> primitive;
+    bit<8> redundancy;
+    bit<32> checksum_value;
+    bit<16> collector_qp;
+    bit<16> l4_dst_port;
+}
+"""
+    slot_sections = "\n".join(
+        f"""
+    action set_slot{s}_base(bit<32> base, bit<16> qp) {{
+        meta.rdma_address = base;
+        meta.collector_qp = qp;
+    }}
+    table keywrite_slot{s} {{
+        key = {{
+            meta.slot_index: exact;
+        }}
+        actions = {{
+            set_slot{s}_base;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}"""
+        for s in range(num_slots)
+    )
+    slot_applies = "\n".join(
+        f"""
+            if (meta.redundancy == {s}) {{
+                keywrite_slot{s}.apply();
+            }}"""
+        for s in range(num_slots)
+    )
+    ingress = f"""
+control DtaIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    register<bit<32>>(65536) append_buffer;
+    register<bit<32>>(16) append_head;
+
+    action noop() {{
+    }}
+    action set_primitive(bit<8> primitive, bit<8> redundancy) {{
+        meta.primitive = primitive;
+        meta.redundancy = redundancy;
+    }}
+    action drop() {{
+        mark_to_drop();
+    }}
+    table primitive_select {{
+        key = {{
+            meta.l4_dst_port: exact;
+            hdr.ipv4.protocol: exact;
+        }}
+        actions = {{
+            set_primitive;
+            drop;
+        }}
+        default_action = drop();
+        size = 64;
+    }}
+{slot_sections}
+
+    apply {{
+        if (hdr.udp.isValid()) {{
+            meta.l4_dst_port = hdr.udp.dst_port;
+            meta.telemetry_key = hdr.ipv4.src_addr ^ hdr.ipv4.dst_addr;
+            meta.telemetry_value = (bit<32>) hdr.ipv4.total_len;
+            primitive_select.apply();
+            if (meta.primitive == 1) {{
+                hash(meta.slot_index, meta.telemetry_key, meta.redundancy);
+{slot_applies}
+                hash(meta.checksum_value, meta.telemetry_key, meta.telemetry_value);
+            }} else {{
+                if (meta.primitive == 2) {{
+                    append_head.read(meta.slot_index, 0);
+                    append_buffer.write(meta.slot_index, meta.telemetry_value);
+                    append_head.write(0, meta.slot_index + 1);
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+    return (
+        _COMMON_HEADERS
+        + meta
+        + _COMMON_PARSER.format(name="DtaParser")
+        + ingress
+        + "\nPipeline(DtaParser(), DtaIngress()) main;\n"
+    )

@@ -1,0 +1,919 @@
+"""switch.p4 equivalent: the "kitchen-sink" data-center switch.
+
+The paper's switch.p4 [66] captures the union of all features a DC switch
+might need (786 statements by the paper's count, 106 s bf-p4c compile) —
+the poster child for specialization because any one deployment uses only a
+subset of features.  This generator builds the same shape: L2 switching,
+VLAN, IPv4/IPv6 routing (host + LPM), ECMP next-hops, three ACL stages,
+NAT, tunnel encap/decap, per-class QoS, storm control, and mirroring, with
+the QoS/port sections scaled by ``num_qos_classes``/``num_port_groups``.
+"""
+
+from __future__ import annotations
+
+HEADERS = """
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header vlan_t {
+    bit<3> pcp;
+    bit<1> dei;
+    bit<12> vid;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<64> src_addr_hi;
+    bit<64> src_addr_lo;
+    bit<64> dst_addr_hi;
+    bit<64> dst_addr_lo;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header vxlan_t {
+    bit<8> flags;
+    bit<24> reserved;
+    bit<24> vni;
+    bit<8> reserved2;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    vlan_t vlan;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    tcp_t tcp;
+    udp_t udp;
+    vxlan_t vxlan;
+}
+
+struct intrinsic_t {
+    bit<9> ingress_port;
+    bit<48> ingress_timestamp;
+}
+
+struct meta_t {
+    bit<9> egress_port;
+    bit<16> bd;
+    bit<16> vrf;
+    bit<16> nexthop_index;
+    bit<16> ecmp_group;
+    bit<8> ecmp_offset;
+    bit<48> rewrite_smac;
+    bit<48> rewrite_dmac;
+    bit<8> l3_hit;
+    bit<8> routed;
+    bit<8> acl_deny;
+    bit<8> nat_hit;
+    bit<32> nat_src;
+    bit<32> nat_dst;
+    bit<16> nat_sport;
+    bit<16> nat_dport;
+    bit<8> tunnel_decap;
+    bit<24> tunnel_vni;
+    bit<8> qos_class;
+    bit<8> qos_color;
+    bit<16> mirror_session;
+    bit<8> storm_drop;
+    bit<16> l4_src_port;
+    bit<16> l4_dst_port;
+    bit<16> hash_value;
+    bit<8> wred_drop;
+    bit<8> pfc_pause;
+    bit<16> mcast_group;
+    bit<16> mcast_rid;
+    bit<8> dtel_report;
+    bit<32> dtel_latency;
+    bit<8> encap_type;
+    bit<32> tunnel_dst_ip;
+    bit<32> tunnel_src_ip;
+    bit<16> tunnel_l4_sport;
+    bit<8> tunnel_ttl;
+    bit<8> tunnel_dscp;
+}
+"""
+
+PARSER = """
+parser SwitchParser(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {
+    state start {
+        pkt_extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x8100: parse_vlan;
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt_extract(hdr.vlan);
+        transition select(hdr.vlan.ether_type) {
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt_extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt_extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt_extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt_extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            4789: parse_vxlan;
+            default: accept;
+        }
+    }
+    state parse_vxlan {
+        pkt_extract(hdr.vxlan);
+        transition accept;
+    }
+}
+"""
+
+
+def _qos_section(num_classes: int) -> tuple[str, str]:
+    decls = []
+    applies = []
+    for c in range(num_classes):
+        decls.append(f"""
+    table qos_class{c}_policer {{
+        key = {{
+            meta.qos_class: exact;
+            intr.ingress_port: exact;
+        }}
+        actions = {{
+            set_color;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}""")
+    chain = "".join(
+        f"""
+            if (meta.qos_class == {c}) {{
+                qos_class{c}_policer.apply();
+            }}{" else {" if c < num_classes - 1 else ""}"""
+        for c in range(num_classes)
+    )
+    chain += "\n" + "            }" * max(0, num_classes - 1)
+    applies.append(chain)
+    return "\n".join(decls), "\n".join(applies)
+
+
+def _port_group_section(num_groups: int) -> tuple[str, str]:
+    decls = []
+    for g in range(num_groups):
+        decls.append(f"""
+    table storm_control_pg{g} {{
+        key = {{
+            intr.ingress_port: exact;
+            hdr.ethernet.dst_addr: ternary;
+        }}
+        actions = {{
+            storm_drop_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}""")
+
+    def arm(g: int) -> str:
+        guard = f"intr.ingress_port[8:6] == {g}" if g < 8 else "true"
+        body = f"""
+                storm_control_pg{g}.apply();"""
+        if g == num_groups - 1:
+            return f"""
+            if ({guard}) {{{body}
+            }}"""
+        return f"""
+            if ({guard}) {{{body}
+            }} else {{{arm(g + 1)}
+            }}"""
+
+    return "\n".join(decls), arm(0) if num_groups else ""
+
+
+
+
+def _wred_section(num_classes: int) -> tuple[str, str]:
+    """Per-class WRED/ECN marking tables (egress congestion management)."""
+    decls = []
+    for c in range(num_classes):
+        decls.append(f"""
+    table wred_class{c} {{
+        key = {{
+            meta.qos_color: exact;
+            meta.egress_port: exact;
+        }}
+        actions = {{
+            wred_mark;
+            wred_drop_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 32;
+    }}""")
+
+    def arm(c: int) -> str:
+        body = f"""
+            wred_class{c}.apply();"""
+        if c == num_classes - 1:
+            return f"""
+        if (meta.qos_class == {c}) {{{body}
+        }}"""
+        return f"""
+        if (meta.qos_class == {c}) {{{body}
+        }} else {{{arm(c + 1)}
+        }}"""
+
+    return "\n".join(decls), arm(0) if num_classes else ""
+
+
+def _pfc_section(num_priorities: int) -> tuple[str, str]:
+    """Per-priority PFC pause state tables."""
+    decls = []
+    for p in range(num_priorities):
+        decls.append(f"""
+    table pfc_prio{p} {{
+        key = {{
+            meta.egress_port: exact;
+        }}
+        actions = {{
+            set_pfc_pause;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}""")
+
+    def arm(p: int) -> str:
+        body = f"""
+            pfc_prio{p}.apply();"""
+        if p == num_priorities - 1:
+            return f"""
+        if (meta.qos_class == {p}) {{{body}
+        }}"""
+        return f"""
+        if (meta.qos_class == {p}) {{{body}
+        }} else {{{arm(p + 1)}
+        }}"""
+
+    return "\n".join(decls), arm(0) if num_priorities else ""
+
+
+def _tunnel_rewrite_section(num_types: int) -> tuple[str, str]:
+    """Per-encap-type tunnel header rewrite (VXLAN/GRE/GENEVE/...)."""
+    decls = []
+    for t in range(num_types):
+        decls.append(f"""
+    action encap_rewrite_type{t}(bit<32> src_ip, bit<32> dst_ip, bit<16> sport, bit<8> ttl, bit<8> dscp) {{
+        meta.tunnel_src_ip = src_ip;
+        meta.tunnel_dst_ip = dst_ip;
+        meta.tunnel_l4_sport = sport;
+        meta.tunnel_ttl = ttl;
+        meta.tunnel_dscp = dscp;
+        meta.encap_type = {t};
+    }}
+    table tunnel_rewrite_type{t} {{
+        key = {{
+            meta.tunnel_vni: exact;
+        }}
+        actions = {{
+            encap_rewrite_type{t};
+            noop;
+        }}
+        default_action = noop();
+        size = 512;
+    }}""")
+
+    def arm(t: int) -> str:
+        body = f"""
+            tunnel_rewrite_type{t}.apply();"""
+        if t == num_types - 1:
+            return f"""
+        if (meta.encap_type == {t}) {{{body}
+        }}"""
+        return f"""
+        if (meta.encap_type == {t}) {{{body}
+        }} else {{{arm(t + 1)}
+        }}"""
+
+    return "\n".join(decls), arm(0) if num_types else ""
+
+
+MULTICAST_SECTION = """
+    action set_mcast_group(bit<16> group, bit<16> rid) {
+        meta.mcast_group = group;
+        meta.mcast_rid = rid;
+    }
+    table ipv4_multicast {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: exact;
+        }
+        actions = {
+            set_mcast_group;
+            noop;
+        }
+        default_action = noop();
+        size = 4096;
+    }
+    table ipv6_multicast {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr_hi: exact;
+        }
+        actions = {
+            set_mcast_group;
+            noop;
+        }
+        default_action = noop();
+        size = 2048;
+    }
+    table mcast_rid_rewrite {
+        key = {
+            meta.mcast_rid: exact;
+        }
+        actions = {
+            set_bd;
+            noop;
+        }
+        default_action = noop();
+        size = 4096;
+    }
+"""
+
+MULTICAST_APPLY = """
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.dst_addr[31:28] == 0xE) {
+                ipv4_multicast.apply();
+            }
+        } else {
+            if (hdr.ipv6.isValid()) {
+                if (hdr.ipv6.dst_addr_hi[63:56] == 0xFF) {
+                    ipv6_multicast.apply();
+                }
+            }
+        }
+        if (meta.mcast_group != 0) {
+            mcast_rid_rewrite.apply();
+        }
+"""
+
+DTEL_SECTION = """
+    action dtel_enable(bit<8> mode) {
+        meta.dtel_report = mode;
+    }
+    action dtel_quota(bit<32> latency_threshold) {
+        meta.dtel_latency = latency_threshold;
+    }
+    table dtel_watchlist {
+        key = {
+            hdr.ipv4.src_addr: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            meta.l4_dst_port: ternary;
+        }
+        actions = {
+            dtel_enable;
+            noop;
+        }
+        default_action = noop();
+        size = 256;
+    }
+    table dtel_config {
+        key = {
+            meta.dtel_report: exact;
+        }
+        actions = {
+            dtel_quota;
+            noop;
+        }
+        default_action = noop();
+        size = 16;
+    }
+"""
+
+DTEL_APPLY = """
+        if (hdr.ipv4.isValid()) {
+            dtel_watchlist.apply();
+            if (meta.dtel_report != 0) {
+                dtel_config.apply();
+                hash(meta.dtel_latency, intr.ingress_timestamp, meta.hash_value);
+            }
+        }
+"""
+
+
+def _ingress(num_qos_classes: int, num_port_groups: int, num_tunnel_types: int) -> str:
+    qos_decls, qos_applies = _qos_section(num_qos_classes)
+    storm_decls, storm_applies = _port_group_section(num_port_groups)
+    pfc_decls, pfc_applies = _pfc_section(8)
+    tunnel_decls, tunnel_applies = _tunnel_rewrite_section(num_tunnel_types)
+    return f"""
+control SwitchIngress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action drop() {{
+        mark_to_drop();
+    }}
+    action noop() {{
+    }}
+    action set_bd(bit<16> bd, bit<16> vrf) {{
+        meta.bd = bd;
+        meta.vrf = vrf;
+    }}
+    action smac_hit() {{
+        noop();
+    }}
+    action smac_learn() {{
+        meta.mirror_session = 250;
+    }}
+    action dmac_unicast(bit<9> port) {{
+        meta.egress_port = port;
+    }}
+    action dmac_flood() {{
+        meta.egress_port = 511;
+    }}
+    action set_nexthop(bit<16> index) {{
+        meta.nexthop_index = index;
+        meta.l3_hit = 1;
+    }}
+    action set_ecmp_group(bit<16> group) {{
+        meta.ecmp_group = group;
+        meta.l3_hit = 1;
+    }}
+    action select_nexthop(bit<16> index) {{
+        meta.nexthop_index = index;
+    }}
+    action rewrite(bit<48> smac, bit<48> dmac, bit<9> port) {{
+        meta.rewrite_smac = smac;
+        meta.rewrite_dmac = dmac;
+        meta.egress_port = port;
+        meta.routed = 1;
+    }}
+    action acl_permit() {{
+        meta.acl_deny = 0;
+    }}
+    action acl_deny_action() {{
+        meta.acl_deny = 1;
+        mark_to_drop();
+    }}
+    action nat_rewrite(bit<32> src, bit<32> dst, bit<16> sport, bit<16> dport) {{
+        meta.nat_src = src;
+        meta.nat_dst = dst;
+        meta.nat_sport = sport;
+        meta.nat_dport = dport;
+        meta.nat_hit = 1;
+    }}
+    action tunnel_decap_action(bit<16> bd) {{
+        meta.tunnel_decap = 1;
+        meta.bd = bd;
+    }}
+    action tunnel_encap_action(bit<24> vni) {{
+        meta.tunnel_vni = vni;
+    }}
+    action set_qos_class(bit<8> class_id) {{
+        meta.qos_class = class_id;
+    }}
+    action set_color(bit<8> color) {{
+        meta.qos_color = color;
+    }}
+    action storm_drop_action() {{
+        meta.storm_drop = 1;
+        mark_to_drop();
+    }}
+    action wred_mark(bit<8> mark) {{
+        meta.wred_drop = mark;
+    }}
+    action wred_drop_action() {{
+        meta.wred_drop = 1;
+        mark_to_drop();
+    }}
+    action set_pfc_pause(bit<8> pause) {{
+        meta.pfc_pause = pause;
+    }}
+    action set_mirror(bit<16> session) {{
+        meta.mirror_session = session;
+    }}
+
+    table port_vlan_to_bd {{
+        key = {{
+            intr.ingress_port: exact;
+            hdr.vlan.vid: exact;
+        }}
+        actions = {{
+            set_bd;
+            drop;
+        }}
+        default_action = drop();
+        size = 4096;
+    }}
+    table smac_table {{
+        key = {{
+            meta.bd: exact;
+            hdr.ethernet.src_addr: exact;
+        }}
+        actions = {{
+            smac_hit;
+            smac_learn;
+        }}
+        default_action = smac_learn();
+        size = 16384;
+    }}
+    table dmac_table {{
+        key = {{
+            meta.bd: exact;
+            hdr.ethernet.dst_addr: exact;
+        }}
+        actions = {{
+            dmac_unicast;
+            dmac_flood;
+        }}
+        default_action = dmac_flood();
+        size = 16384;
+    }}
+    table ipv4_host {{
+        key = {{
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: exact;
+        }}
+        actions = {{
+            set_nexthop;
+            set_ecmp_group;
+            noop;
+        }}
+        default_action = noop();
+        size = 32768;
+    }}
+    table ipv4_lpm {{
+        key = {{
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: lpm;
+        }}
+        actions = {{
+            set_nexthop;
+            set_ecmp_group;
+            noop;
+        }}
+        default_action = noop();
+        size = 16384;
+    }}
+    table ipv6_host {{
+        key = {{
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr_hi: exact;
+            hdr.ipv6.dst_addr_lo: exact;
+        }}
+        actions = {{
+            set_nexthop;
+            set_ecmp_group;
+            noop;
+        }}
+        default_action = noop();
+        size = 16384;
+    }}
+    table ipv6_lpm {{
+        key = {{
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr_hi: lpm;
+        }}
+        actions = {{
+            set_nexthop;
+            set_ecmp_group;
+            noop;
+        }}
+        default_action = noop();
+        size = 8192;
+    }}
+    table ecmp_select {{
+        key = {{
+            meta.ecmp_group: exact;
+            meta.ecmp_offset: exact;
+        }}
+        actions = {{
+            select_nexthop;
+            noop;
+        }}
+        default_action = noop();
+        size = 1024;
+    }}
+    table nexthop {{
+        key = {{
+            meta.nexthop_index: exact;
+        }}
+        actions = {{
+            rewrite;
+            drop;
+        }}
+        default_action = drop();
+        size = 8192;
+    }}
+    table mac_acl {{
+        key = {{
+            hdr.ethernet.src_addr: ternary;
+            hdr.ethernet.dst_addr: ternary;
+            hdr.ethernet.ether_type: ternary;
+        }}
+        actions = {{
+            acl_permit;
+            acl_deny_action;
+        }}
+        default_action = acl_permit();
+        size = 512;
+    }}
+    table ipv4_acl {{
+        key = {{
+            hdr.ipv4.src_addr: ternary;
+            hdr.ipv4.dst_addr: ternary;
+            hdr.ipv4.protocol: ternary;
+            meta.l4_src_port: ternary;
+            meta.l4_dst_port: ternary;
+        }}
+        actions = {{
+            acl_permit;
+            acl_deny_action;
+            set_mirror;
+        }}
+        default_action = acl_permit();
+        size = 1024;
+    }}
+    table ipv6_acl {{
+        key = {{
+            hdr.ipv6.src_addr_hi: ternary;
+            hdr.ipv6.dst_addr_hi: ternary;
+            hdr.ipv6.next_hdr: ternary;
+            meta.l4_dst_port: ternary;
+        }}
+        actions = {{
+            acl_permit;
+            acl_deny_action;
+        }}
+        default_action = acl_permit();
+        size = 512;
+    }}
+    table nat_table {{
+        key = {{
+            hdr.ipv4.src_addr: exact;
+            hdr.ipv4.dst_addr: exact;
+            meta.l4_src_port: exact;
+            meta.l4_dst_port: exact;
+        }}
+        actions = {{
+            nat_rewrite;
+            noop;
+        }}
+        default_action = noop();
+        size = 65536;
+    }}
+    table tunnel_decap_table {{
+        key = {{
+            hdr.vxlan.vni: exact;
+        }}
+        actions = {{
+            tunnel_decap_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 4096;
+    }}
+    table tunnel_encap_table {{
+        key = {{
+            meta.bd: exact;
+            meta.egress_port: exact;
+        }}
+        actions = {{
+            tunnel_encap_action;
+            noop;
+        }}
+        default_action = noop();
+        size = 4096;
+    }}
+    table qos_classify {{
+        key = {{
+            hdr.ipv4.diffserv: ternary;
+            intr.ingress_port: ternary;
+        }}
+        actions = {{
+            set_qos_class;
+            noop;
+        }}
+        default_action = noop();
+        size = 256;
+    }}
+{qos_decls}
+{storm_decls}
+{pfc_decls}
+{tunnel_decls}
+{MULTICAST_SECTION}
+{DTEL_SECTION}
+
+    apply {{
+        if (hdr.tcp.isValid()) {{
+            meta.l4_src_port = hdr.tcp.src_port;
+            meta.l4_dst_port = hdr.tcp.dst_port;
+        }} else {{
+            if (hdr.udp.isValid()) {{
+                meta.l4_src_port = hdr.udp.src_port;
+                meta.l4_dst_port = hdr.udp.dst_port;
+            }}
+        }}
+        port_vlan_to_bd.apply();
+        mac_acl.apply();
+{storm_applies}
+        if (meta.storm_drop == 0) {{
+            smac_table.apply();
+            if (hdr.vxlan.isValid()) {{
+                tunnel_decap_table.apply();
+            }}
+            if (hdr.ipv4.isValid()) {{
+                ipv4_acl.apply();
+                if (meta.acl_deny == 0) {{
+                    if (ipv4_host.apply().miss) {{
+                        ipv4_lpm.apply();
+                    }}
+                    nat_table.apply();
+                    if (meta.nat_hit == 1) {{
+                        hdr.ipv4.src_addr = meta.nat_src;
+                        hdr.ipv4.dst_addr = meta.nat_dst;
+                        meta.l4_src_port = meta.nat_sport;
+                        meta.l4_dst_port = meta.nat_dport;
+                    }}
+                }}
+            }} else {{
+                if (hdr.ipv6.isValid()) {{
+                    ipv6_acl.apply();
+                    if (meta.acl_deny == 0) {{
+                        if (ipv6_host.apply().miss) {{
+                            ipv6_lpm.apply();
+                        }}
+                    }}
+                }}
+            }}
+            if (meta.l3_hit == 1) {{
+                hash(meta.hash_value, hdr.ethernet.src_addr, hdr.ethernet.dst_addr, meta.l4_src_port);
+                meta.ecmp_offset = (bit<8>) meta.hash_value;
+                if (meta.ecmp_group != 0) {{
+                    ecmp_select.apply();
+                }}
+                nexthop.apply();
+            }} else {{
+                dmac_table.apply();
+            }}
+            if (meta.routed == 1) {{
+                hdr.ethernet.src_addr = meta.rewrite_smac;
+                hdr.ethernet.dst_addr = meta.rewrite_dmac;
+                if (hdr.ipv4.isValid()) {{
+                    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                }}
+                if (hdr.ipv6.isValid()) {{
+                    hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+                }}
+                tunnel_encap_table.apply();
+            }}
+            qos_classify.apply();
+{qos_applies}
+{pfc_applies}
+{tunnel_applies}
+{MULTICAST_APPLY}
+{DTEL_APPLY}
+        }}
+    }}
+}}
+"""
+
+
+def _egress(num_buffer_profiles: int, num_wred_classes: int) -> str:
+    wred_decls, wred_applies = _wred_section(num_wred_classes)
+    profile_decls = "\n".join(
+        f"""
+    table buffer_profile{b} {{
+        key = {{
+            meta.egress_port: exact;
+            meta.qos_class: exact;
+        }}
+        actions = {{
+            set_threshold;
+            noop;
+        }}
+        default_action = noop();
+        size = 64;
+    }}"""
+        for b in range(num_buffer_profiles)
+    )
+
+    def arm(b: int) -> str:
+        body = f"""
+            buffer_profile{b}.apply();"""
+        if b == num_buffer_profiles - 1:
+            return f"""
+        if (meta.qos_color == {b}) {{{body}
+        }}"""
+        return f"""
+        if (meta.qos_color == {b}) {{{body}
+        }} else {{{arm(b + 1)}
+        }}"""
+
+    return f"""
+control SwitchEgress(inout headers_t hdr, inout meta_t meta, inout intrinsic_t intr) {{
+    action noop() {{
+    }}
+    action set_threshold(bit<16> threshold) {{
+        meta.mirror_session = threshold;
+    }}
+    action checksum_fix() {{
+        update_checksum(hdr.ipv4.hdr_checksum, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, hdr.ipv4.ttl);
+    }}
+    action noop2() {{
+    }}
+    action wred_mark(bit<8> mark) {{
+        meta.wred_drop = mark;
+    }}
+    action wred_drop_action() {{
+        meta.wred_drop = 1;
+        mark_to_drop();
+    }}
+{wred_decls}
+{profile_decls}
+
+    apply {{
+{wred_applies}
+{arm(0) if num_buffer_profiles else ""}
+        if (hdr.ipv4.isValid()) {{
+            checksum_fix();
+        }}
+    }}
+}}
+"""
+
+
+def source(
+    num_qos_classes: int = 36,
+    num_port_groups: int = 26,
+    num_buffer_profiles: int = 18,
+    num_tunnel_types: int = 32,
+    num_wred_classes: int = 34,
+) -> str:
+    return (
+        HEADERS
+        + PARSER
+        + _ingress(num_qos_classes, num_port_groups, num_tunnel_types)
+        + _egress(num_buffer_profiles, num_wred_classes)
+        + "\nPipeline(SwitchParser(), SwitchIngress(), SwitchEgress()) main;\n"
+    )

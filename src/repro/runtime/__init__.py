@@ -1,0 +1,42 @@
+"""Control-plane runtime: entries, P4Runtime-style semantics, fuzzer, traces."""
+
+from repro.runtime.entries import (
+    EntryError,
+    ExactMatch,
+    LpmMatch,
+    Match,
+    TableEntry,
+    TernaryMatch,
+    as_value_mask,
+    match_covers,
+    match_hits,
+    validate_entry,
+)
+from repro.runtime.fuzzer import EntryFuzzer, ipv4_route_entries
+from repro.runtime.semantics import (
+    DEFAULT_OVERAPPROX_THRESHOLD,
+    DELETE,
+    INSERT,
+    MODIFY,
+    ControlPlaneState,
+    TableAssignment,
+    TableState,
+    Update,
+    ValueSetUpdate,
+    encode_all,
+    encode_table,
+    encode_value_set,
+    entry_match_term,
+    match_term,
+)
+from repro.runtime.trace import (
+    PACKET_ARRIVAL,
+    POLICY_CHANGE,
+    ROUTE_CHANGE,
+    SOURCE_CHANGE,
+    ClassStats,
+    TraceEvent,
+    control_plane_trace,
+    generate_events,
+    measure_classes,
+)

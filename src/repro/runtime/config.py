@@ -1,0 +1,159 @@
+"""JSON control-plane configurations.
+
+The on-disk format mirrors P4Runtime's table-entry structure::
+
+    {
+      "tables": {
+        "Ingress.acl": [
+          {"match": [{"ternary": ["0x0A000000", "0xFF000000"]}],
+           "action": "deny", "args": [], "priority": 10},
+          {"match": [{"exact": "0x0A000001"}],
+           "action": "permit", "args": ["3"]}
+        ],
+        "Ingress.routes": [
+          {"match": [{"lpm": ["10.0.0.0", 8]}], "action": "fwd", "args": [1]}
+        ]
+      },
+      "value_sets": {"Prs.pvs": ["0x800", "0x86DD"]}
+    }
+
+Integers may be JSON numbers, hex strings, or dotted IPv4 quads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime.entries import ExactMatch, LpmMatch, TableEntry, TernaryMatch
+from repro.runtime.semantics import INSERT, Update, ValueSetUpdate
+
+
+class ConfigError(ValueError):
+    """Malformed configuration file."""
+
+
+def parse_int(value) -> int:
+    """Accept ints, hex/decimal strings, and dotted IPv4 quads."""
+    if isinstance(value, bool):
+        raise ConfigError(f"booleans are not numbers: {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if text.count(".") == 3:
+            try:
+                parts = [int(p) for p in text.split(".")]
+            except ValueError as exc:
+                raise ConfigError(f"bad IPv4 literal {value!r}") from exc
+            if any(not 0 <= p <= 255 for p in parts):
+                raise ConfigError(f"bad IPv4 literal {value!r}")
+            return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+        try:
+            return int(text, 0)
+        except ValueError as exc:
+            raise ConfigError(f"bad integer literal {value!r}") from exc
+    raise ConfigError(f"cannot parse {value!r} as an integer")
+
+
+def _parse_match(spec) -> object:
+    if not isinstance(spec, dict) or len(spec) != 1:
+        raise ConfigError(f"match must be a single-key object, got {spec!r}")
+    ((kind, payload),) = spec.items()
+    if kind == "exact":
+        return ExactMatch(parse_int(payload))
+    if kind == "ternary":
+        if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+            raise ConfigError("ternary match takes [value, mask]")
+        return TernaryMatch(parse_int(payload[0]), parse_int(payload[1]))
+    if kind == "lpm":
+        if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+            raise ConfigError("lpm match takes [value, prefix_len]")
+        return LpmMatch(parse_int(payload[0]), int(payload[1]))
+    raise ConfigError(f"unknown match kind {kind!r}")
+
+
+def _parse_entry(spec) -> TableEntry:
+    if "action" not in spec:
+        raise ConfigError(f"entry needs an action: {spec!r}")
+    matches = tuple(_parse_match(m) for m in spec.get("match", []))
+    args = tuple(parse_int(a) for a in spec.get("args", []))
+    priority = int(spec.get("priority", 0))
+    return TableEntry(matches, spec["action"], args, priority)
+
+
+@dataclass
+class Configuration:
+    """A parsed control-plane configuration."""
+
+    table_entries: dict = field(default_factory=dict)  # table → [TableEntry]
+    value_sets: dict = field(default_factory=dict)  # pvs → tuple[int, ...]
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self.table_entries.values())
+
+    def updates(self) -> list:
+        """The configuration as a flat update batch (INSERT order)."""
+        updates: list = []
+        for table, entries in self.table_entries.items():
+            updates.extend(Update(table, INSERT, e) for e in entries)
+        for name, values in self.value_sets.items():
+            updates.append(ValueSetUpdate(name, tuple(values)))
+        return updates
+
+
+def loads(text: str) -> Configuration:
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigError("configuration must be a JSON object")
+    config = Configuration()
+    for table, entries in raw.get("tables", {}).items():
+        if not isinstance(entries, list):
+            raise ConfigError(f"entries for {table!r} must be a list")
+        config.table_entries[table] = [_parse_entry(e) for e in entries]
+    for name, values in raw.get("value_sets", {}).items():
+        if not isinstance(values, list):
+            raise ConfigError(f"value set {name!r} must be a list")
+        config.value_sets[name] = tuple(parse_int(v) for v in values)
+    unknown = set(raw) - {"tables", "value_sets"}
+    if unknown:
+        raise ConfigError(f"unknown configuration sections: {sorted(unknown)}")
+    return config
+
+
+def load(path: str) -> Configuration:
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+def dumps(config: Configuration) -> str:
+    """Serialize a configuration back to the JSON format."""
+    raw: dict = {"tables": {}, "value_sets": {}}
+    for table, entries in config.table_entries.items():
+        out = []
+        for entry in entries:
+            matches = []
+            for match in entry.matches:
+                if isinstance(match, ExactMatch):
+                    matches.append({"exact": hex(match.value)})
+                elif isinstance(match, TernaryMatch):
+                    matches.append({"ternary": [hex(match.value), hex(match.mask)]})
+                else:
+                    matches.append({"lpm": [hex(match.value), match.prefix_len]})
+            out.append(
+                {
+                    "match": matches,
+                    "action": entry.action,
+                    "args": [hex(a) for a in entry.args],
+                    "priority": entry.priority,
+                }
+            )
+        raw["tables"][table] = out
+    for name, values in config.value_sets.items():
+        raw["value_sets"][name] = [hex(v) for v in values]
+    return json.dumps(raw, indent=2)

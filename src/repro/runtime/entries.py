@@ -1,0 +1,150 @@
+"""Control-plane table entries and match kinds (P4Runtime-style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.analysis.model import TableInfo
+
+
+class EntryError(ValueError):
+    """An entry is malformed or incompatible with its table."""
+
+
+@dataclass(frozen=True)
+class ExactMatch:
+    value: int
+
+    def key(self):
+        return ("exact", self.value)
+
+
+@dataclass(frozen=True)
+class TernaryMatch:
+    value: int
+    mask: int
+
+    def key(self):
+        return ("ternary", self.value & self.mask, self.mask)
+
+    def is_full_mask(self, width: int) -> bool:
+        return self.mask == (1 << width) - 1
+
+    def is_empty_mask(self) -> bool:
+        return self.mask == 0
+
+
+@dataclass(frozen=True)
+class LpmMatch:
+    value: int
+    prefix_len: int
+
+    def mask(self, width: int) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return ((1 << self.prefix_len) - 1) << (width - self.prefix_len)
+
+    def key(self):
+        return ("lpm", self.value, self.prefix_len)
+
+
+Match = Union[ExactMatch, TernaryMatch, LpmMatch]
+
+
+def as_value_mask(match: Match, width: int) -> tuple[int, int]:
+    """View any match as a (value, mask) pair at the given key width."""
+    full = (1 << width) - 1
+    if isinstance(match, ExactMatch):
+        return match.value & full, full
+    if isinstance(match, TernaryMatch):
+        return match.value & full, match.mask & full
+    if isinstance(match, LpmMatch):
+        mask = match.mask(width)
+        return match.value & mask, mask
+    raise EntryError(f"unknown match type {match!r}")
+
+
+def match_covers(outer: Match, inner: Match, width: int) -> bool:
+    """Does ``outer`` match every key ``inner`` matches?
+
+    Used for the eclipse rule: a lower-priority entry fully covered by a
+    higher-priority one can never fire and is omitted from the assignment
+    set (§4.1 "Control-plane assignments").
+    """
+    outer_value, outer_mask = as_value_mask(outer, width)
+    inner_value, inner_mask = as_value_mask(inner, width)
+    if outer_mask & ~inner_mask:
+        return False  # outer cares about a bit inner leaves free
+    return (outer_value & outer_mask) == (inner_value & outer_mask)
+
+
+def match_hits(match: Match, key_value: int, width: int) -> bool:
+    """Concrete lookup: does ``key_value`` satisfy this match?"""
+    value, mask = as_value_mask(match, width)
+    return (key_value & mask) == (value & mask)
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One installed entry: match per key, the action to run, its data."""
+
+    matches: tuple  # of Match, one per table key
+    action: str
+    args: tuple = ()  # action data, one int per action parameter
+    priority: int = 0  # higher wins (ternary tables)
+
+    def match_key(self):
+        """The identity of this entry for insert/modify/delete purposes.
+
+        P4Runtime keys entries by their match fields (and priority for
+        ternary); the action is payload.
+        """
+        return (tuple(m.key() for m in self.matches), self.priority)
+
+
+def validate_entry(info: TableInfo, entry: TableEntry) -> None:
+    """Check an entry against the table's schema; raises :class:`EntryError`."""
+    if len(entry.matches) != len(info.keys):
+        raise EntryError(
+            f"table {info.name} has {len(info.keys)} keys, "
+            f"entry has {len(entry.matches)}"
+        )
+    for match, key in zip(entry.matches, info.keys):
+        limit = 1 << key.width
+        if isinstance(match, ExactMatch):
+            if key.match_kind not in ("exact", "ternary", "lpm"):
+                raise EntryError(f"exact match on {key.match_kind} key")
+            if not 0 <= match.value < limit:
+                raise EntryError(f"value {match.value:#x} out of range for {key.width} bits")
+        elif isinstance(match, TernaryMatch):
+            if key.match_kind != "ternary":
+                raise EntryError(f"ternary match on {key.match_kind} key")
+            if not 0 <= match.value < limit or not 0 <= match.mask < limit:
+                raise EntryError("ternary value/mask out of range")
+        elif isinstance(match, LpmMatch):
+            if key.match_kind != "lpm":
+                raise EntryError(f"lpm match on {key.match_kind} key")
+            if not 0 <= match.prefix_len <= key.width:
+                raise EntryError(f"prefix length {match.prefix_len} out of range")
+            if not 0 <= match.value < limit:
+                raise EntryError("lpm value out of range")
+        else:
+            raise EntryError(f"unknown match type {match!r}")
+    if entry.action not in info.action_codes:
+        raise EntryError(f"table {info.name} has no action {entry.action!r}")
+    params = info.action_params.get(entry.action, [])
+    if len(entry.args) != len(params):
+        raise EntryError(
+            f"action {entry.action!r} takes {len(params)} args, got {len(entry.args)}"
+        )
+    for value, param in zip(entry.args, params):
+        if not 0 <= value < (1 << param.width):
+            raise EntryError(
+                f"arg {param.name}={value:#x} out of range for {param.width} bits"
+            )
+    needs_priority = any(
+        isinstance(m, TernaryMatch) for m in entry.matches
+    )
+    if needs_priority and entry.priority < 0:
+        raise EntryError("ternary entries need a non-negative priority")

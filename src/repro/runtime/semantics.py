@@ -1,0 +1,312 @@
+"""Control-plane semantics: entry stores + the entry→assignment encoder.
+
+This is the right half of Flay's Fig. 4.  A :class:`ControlPlaneState`
+holds the installed entries (P4Runtime insert/modify/delete semantics,
+priority ordering, eclipse elision).  The encoder turns one table's entries
+into *control-plane assignments*: terms, over the table's key symbols, that
+are substituted for the table's control symbols (action selector, hit bit,
+action parameters).
+
+Past :data:`DEFAULT_OVERAPPROX_THRESHOLD` entries the encoder
+*overapproximates* (§4.1): each control symbol is replaced by a fresh
+unconstrained data-plane symbol — "assume the entries cover every action
+and parameter" — which makes update processing O(1) in the entry count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.model import DataPlaneModel, TableInfo, ValueSetInfo
+from repro.runtime.entries import (
+    EntryError,
+    ExactMatch,
+    LpmMatch,
+    Match,
+    TableEntry,
+    TernaryMatch,
+    as_value_mask,
+    match_covers,
+    validate_entry,
+)
+from repro.smt import terms as T
+from repro.smt.terms import Term
+
+DEFAULT_OVERAPPROX_THRESHOLD = 100
+
+# Update operations (P4Runtime names).
+INSERT = "insert"
+MODIFY = "modify"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Update:
+    """One control-plane update targeting a table."""
+
+    table: str  # qualified or local table name
+    op: str  # insert | modify | delete
+    entry: TableEntry
+
+    def describe(self) -> str:
+        return f"{self.op} {self.table} {self.entry.action}{self.entry.args}"
+
+
+@dataclass(frozen=True)
+class ValueSetUpdate:
+    """Reconfigure a parser value set to exactly ``values``."""
+
+    value_set: str
+    values: tuple
+
+
+class TableState:
+    """Installed entries of one table, keyed P4Runtime-style."""
+
+    def __init__(self, info: TableInfo) -> None:
+        self.info = info
+        self._entries: dict[object, TableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[TableEntry]:
+        return list(self._entries.values())
+
+    def apply(self, op: str, entry: TableEntry) -> None:
+        validate_entry(self.info, entry)
+        key = entry.match_key()
+        if op == INSERT:
+            if key in self._entries:
+                raise EntryError(f"duplicate entry in {self.info.name}: {key}")
+            self._entries[key] = entry
+        elif op == MODIFY:
+            if key not in self._entries:
+                raise EntryError(f"no such entry in {self.info.name}: {key}")
+            self._entries[key] = entry
+        elif op == DELETE:
+            if key not in self._entries:
+                raise EntryError(f"no such entry in {self.info.name}: {key}")
+            del self._entries[key]
+        else:
+            raise EntryError(f"unknown update op {op!r}")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- ordering & eclipse ----------------------------------------------------
+
+    def ordered_entries(self) -> list[TableEntry]:
+        """Entries in match-precedence order (first match wins)."""
+        entries = self.entries()
+        if any(isinstance(m, TernaryMatch) for e in entries for m in e.matches):
+            entries.sort(key=lambda e: -e.priority)
+        elif any(isinstance(m, LpmMatch) for e in entries for m in e.matches):
+            entries.sort(key=lambda e: -self._total_prefix(e))
+        return entries
+
+    @staticmethod
+    def _total_prefix(entry: TableEntry) -> int:
+        return sum(
+            m.prefix_len for m in entry.matches if isinstance(m, LpmMatch)
+        )
+
+    def active_entries(self) -> list[TableEntry]:
+        """Ordered entries with eclipsed (never-firing) entries elided."""
+        ordered = self.ordered_entries()
+        widths = self.info.key_widths()
+        active: list[TableEntry] = []
+        for entry in ordered:
+            eclipsed = any(
+                all(
+                    match_covers(prev_m, m, w)
+                    for prev_m, m, w in zip(prev.matches, entry.matches, widths)
+                )
+                for prev in active
+            )
+            if not eclipsed:
+                active.append(entry)
+        return active
+
+
+class ControlPlaneState:
+    """All tables' entries + value-set configurations for one program."""
+
+    def __init__(self, model: DataPlaneModel) -> None:
+        self.model = model
+        self.tables: dict[str, TableState] = {
+            name: TableState(info) for name, info in model.tables.items()
+        }
+        self.value_sets: dict[str, tuple] = {
+            name: () for name in model.value_sets
+        }
+        self.update_count = 0
+
+    def table_state(self, name: str) -> TableState:
+        info = self.model.table(name)
+        return self.tables[info.name]
+
+    def apply_update(self, update: Update) -> TableInfo:
+        state = self.table_state(update.table)
+        state.apply(update.op, update.entry)
+        self.update_count += 1
+        return state.info
+
+    def apply_value_set_update(self, update: ValueSetUpdate) -> ValueSetInfo:
+        info = self.model.value_set(update.value_set)
+        if len(update.values) > info.size:
+            raise EntryError(
+                f"value set {info.name} holds {info.size} values, "
+                f"got {len(update.values)}"
+            )
+        self.value_sets[info.name] = tuple(update.values)
+        self.update_count += 1
+        return info
+
+
+# ---------------------------------------------------------------------------
+# Entry → assignment encoding
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableAssignment:
+    """The control-plane assignment for one table.
+
+    ``mapping`` sends each of the table's control symbols to a term over
+    the table's key symbols (data-plane).  ``overapproximated`` tables map
+    their symbols to fresh unconstrained symbols instead.
+    """
+
+    table: str
+    mapping: dict[Term, Term]
+    entry_count: int
+    overapproximated: bool
+
+
+def match_term(match: Match, key: Term, width: int) -> Term:
+    """The condition under which ``key`` satisfies ``match``."""
+    value, mask = as_value_mask(match, width)
+    full = (1 << width) - 1
+    if mask == full:
+        return T.eq(key, T.bv_const(value, width))
+    if mask == 0:
+        return T.TRUE
+    return T.eq(
+        T.bv_and(key, T.bv_const(mask, width)),
+        T.bv_const(value & mask, width),
+    )
+
+
+def entry_match_term(info: TableInfo, entry: TableEntry) -> Term:
+    conds = [
+        match_term(match, key.term, key.width)
+        for match, key in zip(entry.matches, info.keys)
+    ]
+    return T.bool_and(*conds)
+
+
+def encode_table(
+    info: TableInfo,
+    state: TableState,
+    threshold: Optional[int] = DEFAULT_OVERAPPROX_THRESHOLD,
+) -> TableAssignment:
+    """Build the control-plane assignment for ``info`` from its entries."""
+    if threshold is not None and len(state) > threshold:
+        # Past the threshold we never look at individual entries again —
+        # that's what makes overapproximated update processing O(1).
+        return _overapproximate(info, len(state))
+    entries = state.active_entries()
+
+    sel_width = TableInfo.SELECTOR_WIDTH
+    default_code = info.action_codes.get(info.default_action, 0)
+    matches = [(entry, entry_match_term(info, entry)) for entry in entries]
+
+    # Action selector: first matching entry's action, else the default.
+    selector: Term = T.bv_const(default_code, sel_width)
+    for entry, cond in reversed(matches):
+        code = info.action_codes[entry.action]
+        selector = T.ite(cond, T.bv_const(code, sel_width), selector)
+
+    # Hit bit: 1 iff any entry matches.
+    if matches:
+        any_match = T.bool_or(*[cond for _, cond in matches])
+        hit: Term = T.ite(any_match, T.bv_const(1, 1), T.bv_const(0, 1))
+    else:
+        hit = T.bv_const(0, 1)
+
+    mapping: dict[Term, Term] = {
+        info.selector_var: selector,
+        info.hit_var: hit,
+    }
+
+    # Per-action parameters: the winning matching entry's action data.
+    for action_name, params in info.action_params.items():
+        relevant = [
+            (entry, cond) for entry, cond in matches if entry.action == action_name
+        ]
+        for index, param in enumerate(params):
+            if action_name == info.default_action and index < len(info.default_args):
+                fallback_value = info.default_args[index] or 0
+            else:
+                fallback_value = 0
+            value: Term = T.bv_const(fallback_value, param.width)
+            for entry, cond in reversed(relevant):
+                value = T.ite(cond, T.bv_const(entry.args[index], param.width), value)
+            mapping[param.var] = value
+
+    return TableAssignment(
+        table=info.name,
+        mapping=mapping,
+        entry_count=len(state),
+        overapproximated=False,
+    )
+
+
+def _overapproximate(info: TableInfo, entry_count: int) -> TableAssignment:
+    """Map every control symbol of the table to `*any*` (a fresh symbol)."""
+    mapping: dict[Term, Term] = {
+        info.selector_var: T.fresh_data_var(f"{info.name}.action!any", TableInfo.SELECTOR_WIDTH),
+        info.hit_var: T.fresh_data_var(f"{info.name}.hit!any", 1),
+    }
+    for params in info.action_params.values():
+        for param in params:
+            mapping[param.var] = T.fresh_data_var(f"{param.var.name}!any", param.width)
+    return TableAssignment(
+        table=info.name,
+        mapping=mapping,
+        entry_count=entry_count,
+        overapproximated=True,
+    )
+
+
+def encode_value_set(info: ValueSetInfo, values: Iterable[int]) -> dict[Term, Term]:
+    """Assignment for a parser value set: fill slots, mark the rest invalid."""
+    values = list(values)
+    if len(values) > info.size:
+        raise EntryError(f"too many values for value set {info.name}")
+    mapping: dict[Term, Term] = {}
+    for i in range(info.size):
+        if i < len(values):
+            mapping[info.valid_vars[i]] = T.bv_const(1, 1)
+            mapping[info.value_vars[i]] = T.bv_const(values[i], info.width)
+        else:
+            mapping[info.valid_vars[i]] = T.bv_const(0, 1)
+            mapping[info.value_vars[i]] = T.bv_const(0, info.width)
+    return mapping
+
+
+def encode_all(
+    model: DataPlaneModel,
+    state: ControlPlaneState,
+    threshold: Optional[int] = DEFAULT_OVERAPPROX_THRESHOLD,
+) -> dict[Term, Term]:
+    """Full substitution map for every table and value set in the program."""
+    mapping: dict[Term, Term] = {}
+    for name, info in model.tables.items():
+        assignment = encode_table(info, state.tables[name], threshold)
+        mapping.update(assignment.mapping)
+    for name, info in model.value_sets.items():
+        mapping.update(encode_value_set(info, state.value_sets[name]))
+    return mapping

@@ -1,0 +1,221 @@
+"""Unsigned-interval abstract interpretation over terms.
+
+A cheap pre-check used by the solver facade: most executability queries in
+network programs compare fields against constants, and an interval sweep
+decides them without bit-blasting.  The paper's "100 ms per update" budget
+depends on most queries being answered by fast paths like this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.smt import terms as T
+from repro.smt.terms import Term
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed unsigned interval [lo, hi] of values a term may take."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+
+# Tri-state results for boolean terms under the abstraction.
+DEFINITELY_TRUE = "true"
+DEFINITELY_FALSE = "false"
+UNKNOWN = "unknown"
+
+
+def _full(width: int) -> Interval:
+    return Interval(0, (1 << width) - 1)
+
+
+def eval_interval(term: Term, memo: Optional[dict[int, Interval]] = None) -> Interval:
+    """Interval of possible values of a bitvector term (free vars = full range)."""
+    if not term.is_bv:
+        raise T.SortError("eval_interval expects a bitvector term")
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(term))
+    if cached is not None:
+        return cached
+    # Iterative post-order so deeply nested entry-match chains don't blow
+    # the Python stack; boolean subterms are evaluated into the same memo.
+    for node in T.iter_dag(term):
+        if id(node) in memo:
+            continue
+        if node.is_bv:
+            memo[id(node)] = _interval_node(node, memo)
+        else:
+            memo[id(node)] = _bool_node(node, memo)
+    return memo[id(term)]
+
+
+def _interval_node(node: Term, memo) -> Interval:
+    op = node.op
+    width = node.width
+    mask = (1 << width) - 1
+    if op == T.OP_BVCONST:
+        return Interval(node.payload, node.payload)
+    if op in (T.OP_DATA_VAR, T.OP_CONTROL_VAR):
+        return _full(width)
+    if op == T.OP_ADD:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        if a.hi + b.hi <= mask:
+            return Interval(a.lo + b.lo, a.hi + b.hi)
+        return _full(width)
+    if op == T.OP_SUB:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        if a.lo - b.hi >= 0:
+            return Interval(a.lo - b.hi, a.hi - b.lo)
+        return _full(width)
+    if op == T.OP_AND:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        return Interval(0, min(a.hi, b.hi))
+    if op == T.OP_OR:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        return Interval(max(a.lo, b.lo), mask if a.hi | b.hi else 0)
+    if op == T.OP_LSHR:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        if b.is_point and b.lo < width:
+            return Interval(a.lo >> b.lo, a.hi >> b.lo)
+        return Interval(0, a.hi)
+    if op == T.OP_SHL:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        if b.is_point and b.lo < width and a.hi << b.lo <= mask:
+            return Interval(a.lo << b.lo, a.hi << b.lo)
+        return _full(width)
+    if op == T.OP_EXTRACT:
+        hi, lo = node.payload
+        inner = memo[id(node.args[0])]
+        if inner.hi < (1 << (hi + 1)) and lo == 0:
+            return Interval(inner.lo & ((1 << (hi + 1)) - 1), inner.hi)
+        return _full(width)
+    if op == T.OP_CONCAT:
+        a = memo[id(node.args[0])]
+        b = memo[id(node.args[1])]
+        lo_width = node.args[1].width
+        return Interval((a.lo << lo_width) | b.lo, (a.hi << lo_width) | b.hi)
+    if op == T.OP_ITE:
+        cond = memo[id(node.args[0])]
+        if cond == DEFINITELY_TRUE:
+            return memo[id(node.args[1])]
+        if cond == DEFINITELY_FALSE:
+            return memo[id(node.args[2])]
+        a = memo[id(node.args[1])]
+        b = memo[id(node.args[2])]
+        return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+    # mul, xor, not, neg: give up precisely but stay sound.
+    return _full(width)
+
+
+def eval_bool(term: Term, memo: Optional[dict[int, Interval]] = None) -> str:
+    """Tri-state evaluation of a boolean term under the interval abstraction."""
+    if not term.is_bool:
+        raise T.SortError("eval_bool expects a boolean term")
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(term))
+    if cached is not None:
+        return cached
+    for node in T.iter_dag(term):
+        if id(node) in memo:
+            continue
+        if node.is_bv:
+            memo[id(node)] = _interval_node(node, memo)
+        else:
+            memo[id(node)] = _bool_node(node, memo)
+    return memo[id(term)]
+
+
+def _bool_node(term: Term, memo) -> str:
+    op = term.op
+    if op == T.OP_BOOLCONST:
+        return DEFINITELY_TRUE if term.payload else DEFINITELY_FALSE
+    if op == T.OP_BOOLVAR:
+        return UNKNOWN
+    if op == T.OP_BNOT:
+        inner = memo[id(term.args[0])]
+        if inner == DEFINITELY_TRUE:
+            return DEFINITELY_FALSE
+        if inner == DEFINITELY_FALSE:
+            return DEFINITELY_TRUE
+        return UNKNOWN
+    if op == T.OP_BAND:
+        results = [memo[id(a)] for a in term.args]
+        if DEFINITELY_FALSE in results:
+            return DEFINITELY_FALSE
+        if all(r == DEFINITELY_TRUE for r in results):
+            return DEFINITELY_TRUE
+        return UNKNOWN
+    if op == T.OP_BOR:
+        results = [memo[id(a)] for a in term.args]
+        if DEFINITELY_TRUE in results:
+            return DEFINITELY_TRUE
+        if all(r == DEFINITELY_FALSE for r in results):
+            return DEFINITELY_FALSE
+        return UNKNOWN
+    if op == T.OP_EQ:
+        a, b = term.args
+        if a.is_bool:
+            ra, rb = memo[id(a)], memo[id(b)]
+            if UNKNOWN in (ra, rb):
+                return UNKNOWN
+            return DEFINITELY_TRUE if ra == rb else DEFINITELY_FALSE
+        ia, ib = memo[id(a)], memo[id(b)]
+        if not ia.intersects(ib):
+            return DEFINITELY_FALSE
+        if ia.is_point and ib.is_point and ia.lo == ib.lo:
+            return DEFINITELY_TRUE
+        return UNKNOWN
+    if op == T.OP_ULT:
+        ia = memo[id(term.args[0])]
+        ib = memo[id(term.args[1])]
+        if ia.hi < ib.lo:
+            return DEFINITELY_TRUE
+        if ia.lo >= ib.hi:
+            return DEFINITELY_FALSE
+        return UNKNOWN
+    if op == T.OP_ULE:
+        ia = memo[id(term.args[0])]
+        ib = memo[id(term.args[1])]
+        if ia.hi <= ib.lo:
+            return DEFINITELY_TRUE
+        if ia.lo > ib.hi:
+            return DEFINITELY_FALSE
+        return UNKNOWN
+    if op == T.OP_ITE:
+        cond = memo[id(term.args[0])]
+        if cond == DEFINITELY_TRUE:
+            return memo[id(term.args[1])]
+        if cond == DEFINITELY_FALSE:
+            return memo[id(term.args[2])]
+        ra = memo[id(term.args[1])]
+        rb = memo[id(term.args[2])]
+        if ra == rb and ra != UNKNOWN:
+            return ra
+        return UNKNOWN
+    raise T.SortError(f"unknown boolean operator {op!r}")

@@ -1,0 +1,234 @@
+"""A small DPLL SAT solver with two-watched-literal propagation.
+
+The queries Flay needs (branch executability under a concrete control-plane
+assignment) bit-blast into modest CNF formulas, so a clean DPLL with watched
+literals and a static activity heuristic is plenty.  Variables are positive
+integers; literals are non-zero integers where a negative literal is the
+negation of its absolute value — the DIMACS convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+class SolverBudgetExceeded(RuntimeError):
+    """The decision budget ran out before the search concluded."""
+
+
+class Clause:
+    __slots__ = ("lits",)
+
+    def __init__(self, lits: Sequence[int]) -> None:
+        self.lits = list(lits)
+
+
+class SatSolver:
+    """DPLL over a clause set added with :meth:`add_clause`."""
+
+    def __init__(self) -> None:
+        self._clauses: list[Clause] = []
+        self._num_vars = 0
+        self._trivially_unsat = False
+        self._model: Optional[dict[int, bool]] = None
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        seen: set[int] = set()
+        filtered: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved")
+            if -lit in seen:
+                return  # tautology: clause is always satisfied
+            if lit in seen:
+                continue
+            seen.add(lit)
+            filtered.append(lit)
+            self._num_vars = max(self._num_vars, abs(lit))
+        if not filtered:
+            self._trivially_unsat = True
+            return
+        self._clauses.append(Clause(filtered))
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def solve(self, max_decisions: Optional[int] = None) -> str:
+        """Run DPLL.  Returns ``SAT`` or ``UNSAT``.
+
+        ``max_decisions`` bounds the search; exceeding it raises
+        :class:`SolverBudgetExceeded` so callers can fall back to an
+        overapproximation rather than stall the update path.
+        """
+        if self._trivially_unsat:
+            self._model = None
+            return UNSAT
+        search = _Search(self._clauses, self._num_vars, max_decisions)
+        result = search.run()
+        self._model = search.model() if result == SAT else None
+        return result
+
+    def model(self) -> Optional[dict[int, bool]]:
+        """Variable assignment from the last ``SAT`` answer."""
+        return self._model
+
+
+class _Search:
+    """One DPLL search over a fixed clause set."""
+
+    def __init__(
+        self,
+        clauses: list[Clause],
+        num_vars: int,
+        max_decisions: Optional[int],
+    ) -> None:
+        self.num_vars = num_vars
+        self.max_decisions = max_decisions
+        self.assignment: list[Optional[bool]] = [None] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_marks: list[int] = []
+        self.decision_stack: list[int] = []
+        self.queue_start = 0
+        self.watches: dict[int, list[Clause]] = {}
+        self.units: list[int] = []
+        self.activity = [0.0] * (num_vars + 1)
+        for clause in clauses:
+            if len(clause.lits) == 1:
+                self.units.append(clause.lits[0])
+            else:
+                for lit in clause.lits[:2]:
+                    self.watches.setdefault(lit, []).append(clause)
+            for lit in clause.lits:
+                self.activity[abs(lit)] += 1.0 / len(clause.lits)
+
+    def _value(self, lit: int) -> Optional[bool]:
+        val = self.assignment[abs(lit)]
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _assign(self, lit: int) -> None:
+        self.assignment[abs(lit)] = lit > 0
+        self.trail.append(lit)
+
+    def _propagate(self) -> bool:
+        """Unit propagation from the trail queue; False on conflict."""
+        while self.queue_start < len(self.trail):
+            lit = self.trail[self.queue_start]
+            self.queue_start += 1
+            falsified = -lit
+            watching = self.watches.get(falsified)
+            if not watching:
+                continue
+            kept: list[Clause] = []
+            conflict = False
+            for index, clause in enumerate(watching):
+                keep, ok = self._update_watch(clause, falsified)
+                if keep:
+                    kept.append(clause)
+                if not ok:
+                    kept.extend(watching[index + 1 :])
+                    conflict = True
+                    break
+            self.watches[falsified] = kept
+            if conflict:
+                self.queue_start = len(self.trail)
+                return False
+        return True
+
+    def _update_watch(self, clause: Clause, falsified: int) -> tuple[bool, bool]:
+        """Repair a clause whose watched literal became false.
+
+        Returns ``(keep_watching_falsified, no_conflict)``.
+        """
+        lits = clause.lits
+        if lits[0] == falsified:
+            lits[0], lits[1] = lits[1], lits[0]
+        other = lits[0]
+        if self._value(other) is True:
+            return True, True
+        for i in range(2, len(lits)):
+            if self._value(lits[i]) is not False:
+                lits[1], lits[i] = lits[i], lits[1]
+                self.watches.setdefault(lits[1], []).append(clause)
+                return False, True
+        # No replacement watch: clause is unit on `other`, or conflicting.
+        if self._value(other) is False:
+            return True, False
+        self._assign(other)
+        return True, True
+
+    def run(self) -> str:
+        for lit in self.units:
+            val = self._value(lit)
+            if val is False:
+                return UNSAT
+            if val is None:
+                self._assign(lit)
+        if not self._propagate():
+            return UNSAT
+        decisions = 0
+        while True:
+            var = self._pick_branch()
+            if var is None:
+                return SAT
+            decisions += 1
+            if self.max_decisions is not None and decisions > self.max_decisions:
+                raise SolverBudgetExceeded(f"exceeded {self.max_decisions} decisions")
+            if not self._decide(var):
+                if not self._resolve_conflict():
+                    return UNSAT
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_act = 0, -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] is None and self.activity[var] > best_act:
+                best_var, best_act = var, self.activity[var]
+        return best_var or None
+
+    def _decide(self, lit: int) -> bool:
+        """Push a decision level assigning ``lit``; propagate."""
+        self.trail_marks.append(len(self.trail))
+        self.decision_stack.append(lit)
+        self._assign(lit)
+        return self._propagate()
+
+    def _resolve_conflict(self) -> bool:
+        """Chronological backtracking: flip the deepest untried decision."""
+        while True:
+            flipped = self._pop_level()
+            if flipped is None:
+                return False
+            if self._decide(flipped):
+                return True
+
+    def _pop_level(self) -> Optional[int]:
+        while self.trail_marks:
+            mark = self.trail_marks.pop()
+            decided = self.decision_stack.pop()
+            while len(self.trail) > mark:
+                undone = self.trail.pop()
+                self.assignment[abs(undone)] = None
+            self.queue_start = len(self.trail)
+            if decided > 0:
+                return -decided  # positive polarity was tried first
+        return None
+
+    def model(self) -> dict[int, bool]:
+        return {
+            var: bool(self.assignment[var])
+            for var in range(1, self.num_vars + 1)
+            if self.assignment[var] is not None
+        }

@@ -1,0 +1,139 @@
+"""Solver facade: the QF_BV decision procedure Flay's queries sit on.
+
+Layered fast paths, in the order Flay needs them to keep update analysis
+within its ~100 ms budget (§4.1):
+
+1. algebraic simplification (often decides the query outright),
+2. interval abstract interpretation (cheap sound pre-check),
+3. bit-blasting + DPLL (complete, used only when the fast paths punt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.smt import interval, sat, terms as T
+from repro.smt.cnf import BitBlaster, assert_term, model_values
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term
+
+
+@dataclass
+class SolverStats:
+    """Where queries were decided — used by the ablation benchmarks."""
+
+    by_simplify: int = 0
+    by_interval: int = 0
+    by_sat: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.by_simplify + self.by_interval + self.by_sat
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability check."""
+
+    satisfiable: bool
+    model: Optional[dict[str, int]] = None
+
+
+class Solver:
+    """Decides satisfiability/validity of boolean terms over bitvectors."""
+
+    def __init__(
+        self,
+        use_interval_precheck: bool = True,
+        max_decisions: Optional[int] = 2_000_000,
+    ) -> None:
+        self.use_interval_precheck = use_interval_precheck
+        self.max_decisions = max_decisions
+        self.stats = SolverStats()
+
+    def check_sat(self, term: Term) -> SatResult:
+        """Is there an assignment making ``term`` true?"""
+        if not term.is_bool:
+            raise T.SortError("check_sat expects a boolean term")
+        simplified = simplify(term)
+        if simplified.op == T.OP_BOOLCONST:
+            self.stats.by_simplify += 1
+            return SatResult(bool(simplified.payload), {} if simplified.payload else None)
+        if self.use_interval_precheck:
+            verdict = interval.eval_bool(simplified)
+            if verdict == interval.DEFINITELY_FALSE:
+                self.stats.by_interval += 1
+                return SatResult(False)
+            # DEFINITELY_TRUE means *every* assignment satisfies it → SAT.
+            if verdict == interval.DEFINITELY_TRUE:
+                self.stats.by_interval += 1
+                return SatResult(True, {})
+        self.stats.by_sat += 1
+        blaster = BitBlaster()
+        assert_term(blaster, simplified)
+        outcome = blaster.solver.solve(max_decisions=self.max_decisions)
+        if outcome == sat.UNSAT:
+            return SatResult(False)
+        return SatResult(True, model_values(blaster, simplified))
+
+    def is_valid(self, term: Term) -> bool:
+        """Does ``term`` hold under every assignment?"""
+        return not self.check_sat(T.bool_not(term)).satisfiable
+
+    def prove_equal(self, a: Term, b: Term) -> bool:
+        """Are ``a`` and ``b`` semantically equal for all inputs?
+
+        This is the behaviour-change check at the heart of the incremental
+        pipeline: the old and new expression at a program point are equal
+        iff the control-plane update did not change that point's semantics.
+        """
+        if a is b:
+            self.stats.by_simplify += 1
+            return True
+        if a.is_bool != b.is_bool or a.width != b.width:
+            return False
+        sa, sb = simplify(a), simplify(b)
+        if sa is sb:
+            self.stats.by_simplify += 1
+            return True
+        return self.is_valid(T.eq(sa, sb))
+
+    def find_constant(self, term: Term) -> Optional[int]:
+        """If ``term`` has the same value under every assignment, return it.
+
+        This implements Flay's second query type: "can we replace this
+        program variable with a constant?".  Simplification handles the
+        overwhelmingly common case; the solver closes the gap (e.g. masked
+        expressions that fold semantically but not syntactically).
+        """
+        simplified = simplify(term)
+        value = _literal_value(simplified)
+        if value is not None:
+            self.stats.by_simplify += 1
+            return value
+        if not T.variables(simplified):
+            # Closed but unsimplified (shouldn't happen); evaluate directly.
+            return T.evaluate(simplified, {})
+        # Get a candidate value from one model, then prove uniqueness.
+        if simplified.is_bool:
+            if not self.check_sat(simplified).satisfiable:
+                return 0
+            if not self.check_sat(T.bool_not(simplified)).satisfiable:
+                return 1
+            return None
+        # Probe: evaluate under the all-zeros assignment to get a candidate.
+        zeros = {var.name: 0 for var in T.variables(simplified)}
+        candidate = T.evaluate(simplified, zeros)
+        candidate_term = T.bv_const(candidate, simplified.width)
+        if self.is_valid(T.eq(simplified, candidate_term)):
+            return candidate
+        return None
+
+
+def _literal_value(term: Term) -> Optional[int]:
+    if term.op == T.OP_BVCONST:
+        return term.payload
+    if term.op == T.OP_BOOLCONST:
+        return int(term.payload)
+    return None

@@ -1,0 +1,116 @@
+"""Substitution of control-plane assignments into data-plane expressions.
+
+This plays the role Z3's e-matching plays in Flay (§4.1): given a data-plane
+expression whose control-plane symbols act as placeholders, replace each
+placeholder with the term encoding the active control-plane assignment, then
+simplify.  Substitution is memoized over the shared DAG, so substituting
+into the hundreds of program points of one program touches each unique
+subterm once.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.smt import terms as T
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term
+
+
+class Substitution:
+    """A reusable variable→term mapping with a shared memo table.
+
+    Reusing one ``Substitution`` across all program points of a program is
+    the incremental trick: expressions share structure, and the memo makes
+    the shared parts free after the first substitution.
+    """
+
+    def __init__(self, mapping: Mapping[Term, Term]) -> None:
+        for var, replacement in mapping.items():
+            if not var.is_var:
+                raise T.SortError(f"substitution key {var!r} is not a variable")
+            if var.width != replacement.width:
+                raise T.SortError(
+                    f"substituting {replacement!r} (width {replacement.width}) "
+                    f"for {var!r} (width {var.width})"
+                )
+        self._mapping = {id(var): replacement for var, replacement in mapping.items()}
+        self._memo: dict[int, Term] = dict(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def apply(self, term: Term) -> Term:
+        """Replace mapped variables throughout ``term`` (no simplification)."""
+        memo = self._memo
+        stack: list[tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in memo:
+                continue
+            if not node.args:
+                memo[id(node)] = node
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    if id(child) not in memo:
+                        stack.append((child, False))
+                continue
+            new_args = tuple(memo[id(child)] for child in node.args)
+            memo[id(node)] = _rebuild_with_args(node, new_args)
+        return memo[id(term)]
+
+
+def _rebuild_with_args(node: Term, args: tuple) -> Term:
+    if args == node.args:
+        return node
+    f = T.DEFAULT_FACTORY
+    op = node.op
+    builders = {
+        T.OP_ADD: f.add, T.OP_SUB: f.sub, T.OP_MUL: f.mul,
+        T.OP_AND: f.bv_and, T.OP_OR: f.bv_or, T.OP_XOR: f.bv_xor,
+        T.OP_NOT: f.bv_not, T.OP_NEG: f.neg,
+        T.OP_SHL: f.shl, T.OP_LSHR: f.lshr, T.OP_CONCAT: f.concat,
+        T.OP_ITE: f.ite, T.OP_EQ: f.eq, T.OP_ULT: f.ult, T.OP_ULE: f.ule,
+        T.OP_BAND: f.bool_and, T.OP_BOR: f.bool_or, T.OP_BNOT: f.bool_not,
+    }
+    if op == T.OP_EXTRACT:
+        hi, lo = node.payload
+        return f.extract(args[0], hi, lo)
+    builder = builders.get(op)
+    if builder is None:
+        raise T.SortError(f"cannot substitute under {op!r}")
+    return builder(*args)
+
+
+def substitute(
+    term: Term,
+    mapping: Mapping[Term, Term],
+    simplify_result: bool = True,
+    memo: Optional[dict[int, Term]] = None,
+) -> Term:
+    """One-shot substitution helper.
+
+    ``substitute(expr, {ctrl_var: assignment_term})`` is the core move of a
+    specialization query: the result collapsing to a constant means the
+    program point's behaviour is fully determined by the control plane.
+    """
+    result = Substitution(mapping).apply(term)
+    if simplify_result:
+        result = simplify(result, memo=memo)
+    return result
+
+
+def substitute_names(
+    term: Term,
+    named: Mapping[str, Term],
+    simplify_result: bool = True,
+) -> Term:
+    """Substitute by variable *name*, resolving widths from the term itself."""
+    mapping: dict[Term, Term] = {}
+    for var in T.variables(term):
+        replacement = named.get(var.name)
+        if replacement is not None:
+            mapping[var] = replacement
+    return substitute(term, mapping, simplify_result=simplify_result)

@@ -1,0 +1,1 @@
+"""Device targets: the BMv2 interpreter and the Tofino RMT model."""

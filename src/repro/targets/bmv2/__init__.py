@@ -1,0 +1,9 @@
+"""BMv2 stand-in: reference interpreter + fast compiler model."""
+
+from repro.targets.bmv2.compiler import Bmv2CompileReport, Bmv2Compiler
+from repro.targets.bmv2.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+)
+from repro.targets.bmv2.packet import Packet, PacketBuilder, PacketUnderflow

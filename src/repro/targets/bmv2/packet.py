@@ -1,0 +1,76 @@
+"""Bit-level packets for the reference interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class PacketUnderflow(Exception):
+    """An extract ran past the end of the packet (→ parser reject)."""
+
+
+class Packet:
+    """A packet as a bitstring with a read cursor."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.bit_cursor = 0
+
+    @property
+    def bit_length(self) -> int:
+        return len(self.data) * 8
+
+    @property
+    def remaining_bits(self) -> int:
+        return self.bit_length - self.bit_cursor
+
+    def extract_bits(self, width: int) -> int:
+        """Read ``width`` bits at the cursor (network bit order)."""
+        if width > self.remaining_bits:
+            raise PacketUnderflow(
+                f"need {width} bits, {self.remaining_bits} remain"
+            )
+        value = 0
+        for _ in range(width):
+            byte = self.data[self.bit_cursor // 8]
+            bit = (byte >> (7 - (self.bit_cursor % 8))) & 1
+            value = (value << 1) | bit
+            self.bit_cursor += 1
+        return value
+
+    def reset(self) -> "Packet":
+        self.bit_cursor = 0
+        return self
+
+
+class PacketBuilder:
+    """Assemble a packet from (value, width) fields, MSB-first."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def push(self, value: int, width: int) -> "PacketBuilder":
+        if not 0 <= value < (1 << width):
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+        return self
+
+    def push_bytes(self, data: bytes) -> "PacketBuilder":
+        for byte in data:
+            self.push(byte, 8)
+        return self
+
+    def build(self, pad_to_bytes: int = 0) -> Packet:
+        bits = list(self._bits)
+        while len(bits) % 8 != 0:
+            bits.append(0)
+        while len(bits) // 8 < pad_to_bytes:
+            bits.extend([0] * 8)
+        data = bytearray()
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        return Packet(bytes(data))

@@ -1,0 +1,12 @@
+"""Tofino stand-in: RMT resource model, stage allocator, compiler model."""
+
+from repro.targets.tofino.allocator import allocate
+from repro.targets.tofino.compiler import CompileReport, CostModel, TofinoCompiler
+from repro.targets.tofino.resources import (
+    PipelineSpec,
+    ResourceError,
+    ResourceReport,
+    StageUsage,
+    TOFINO1,
+    TOFINO2,
+)

@@ -1,0 +1,162 @@
+"""Stage allocator: dependency-respecting placement of tables into stages.
+
+Standard RMT allocation: topologically order the table dependency graph,
+give every node the earliest stage permitted by its dependencies (match and
+action dependencies force strictly later stages; control dependencies force
+later-or-equal placement which we conservatively round up to later for
+chained tables), then pack greedily subject to per-stage capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.deps import (
+    ACTION_DEP,
+    CONTROL_DEP,
+    MATCH_DEP,
+    DependencyGraph,
+    TableNode,
+    build_dependency_graph,
+)
+from repro.p4 import ast_nodes as ast
+from repro.p4.types import TypeEnv
+from repro.targets.tofino.resources import (
+    PipelineSpec,
+    ResourceError,
+    ResourceReport,
+    StageUsage,
+    TOFINO2,
+    table_memory_bits,
+)
+
+
+def allocate(
+    program: ast.Program,
+    spec: PipelineSpec = TOFINO2,
+    env: Optional[TypeEnv] = None,
+    graph: Optional[DependencyGraph] = None,
+    strict: bool = False,
+) -> ResourceReport:
+    """Place the program's tables into stages and account resources.
+
+    With ``strict=True`` a program that needs more than ``spec.num_stages``
+    stages raises :class:`ResourceError`; by default the report simply
+    shows the demanded stage count (so "needs the maximum number of
+    stages" — the paper's SCION observation — is expressible as
+    ``report.stages_used >= spec.num_stages``).
+    """
+    if graph is None:
+        graph = build_dependency_graph(program, env)
+
+    # Greedy packing in program (topological) order.  Each node's floor is
+    # derived from the *final placement* of its predecessors: match/action
+    # dependencies force a strictly later stage; a gateway and the tables it
+    # guards may share a stage (Tofino resolves gateways in-stage).
+    stages: list[StageUsage] = []
+    placed: dict[str, int] = {}
+
+    def stage_at(index: int) -> StageUsage:
+        while len(stages) <= index:
+            stages.append(StageUsage(len(stages)))
+        return stages[index]
+
+    phv_fields: set[str] = set()
+    for name in graph.order:
+        node = graph.nodes[name]
+        phv_fields.update(node.reads)
+        phv_fields.update(node.writes)
+        sram, tcam = _node_memory(node)
+        extra_tables = 0 if node.is_gateway else 1
+        extra_gateways = 1 if node.is_gateway else 0
+        extra_alus = max(1, node.num_actions) if not node.is_gateway else 0
+        floor = 0
+        for edge in graph.predecessors(name):
+            pred_stage = placed.get(edge.src, 0)
+            if edge.kind in (MATCH_DEP, ACTION_DEP):
+                floor = max(floor, pred_stage + 1)
+            else:  # CONTROL_DEP: same stage as the gateway is fine
+                floor = max(floor, pred_stage)
+
+        # A table whose memory demand exceeds one stage's capacity spans
+        # several consecutive stages (how real RMT compilers place big
+        # LPM/exact tables).
+        span = max(
+            1,
+            -(-sram // spec.sram_bits_per_stage),
+            -(-tcam // spec.tcam_bits_per_stage),
+        )
+        if span > 1:
+            index = max(floor, len(stages))
+            sram_left, tcam_left = sram, tcam
+            for offset in range(span):
+                stage = stage_at(index + offset)
+                stage.tables.append(name)
+                take_sram = min(sram_left, spec.sram_bits_per_stage)
+                take_tcam = min(tcam_left, spec.tcam_bits_per_stage)
+                stage.sram_bits += take_sram
+                stage.tcam_bits += take_tcam
+                sram_left -= take_sram
+                tcam_left -= take_tcam
+                if offset == 0:
+                    stage.table_count += extra_tables
+                    stage.gateways += extra_gateways
+                    stage.alus += extra_alus
+            placed[name] = index + span - 1
+            continue
+
+        index = floor
+        while True:
+            stage = stage_at(index)
+            if stage.fits(spec, sram, tcam, extra_tables, extra_gateways, extra_alus):
+                break
+            index += 1
+        stage.tables.append(name)
+        stage.table_count += extra_tables
+        stage.sram_bits += sram
+        stage.tcam_bits += tcam
+        stage.gateways += extra_gateways
+        stage.alus += extra_alus
+        placed[name] = index
+
+    stages_used = len(stages)
+    if strict and stages_used > spec.num_stages:
+        raise ResourceError(
+            f"program needs {stages_used} stages, {spec.name} has {spec.num_stages}"
+        )
+
+    phv_bits = _phv_bits(phv_fields, graph)
+    return ResourceReport(
+        spec=spec,
+        stages_used=stages_used,
+        stage_usages=stages,
+        total_sram_bits=sum(s.sram_bits for s in stages),
+        total_tcam_bits=sum(s.tcam_bits for s in stages),
+        phv_bits_used=phv_bits,
+        total_tables=sum(1 for n in graph.nodes.values() if not n.is_gateway),
+        total_gateways=sum(1 for n in graph.nodes.values() if n.is_gateway),
+    )
+
+
+def _node_memory(node: TableNode) -> tuple[int, int]:
+    if node.is_gateway:
+        return 0, 0
+    return table_memory_bits(
+        node.exact_key_bits,
+        node.ternary_key_bits,
+        node.lpm_key_bits,
+        node.size,
+        node.action_param_bits,
+    )
+
+
+def _phv_bits(fields: set[str], graph: DependencyGraph) -> int:
+    """Rough PHV accounting: 32 bits per referenced scalar container.
+
+    We do not track widths through the dependency graph's field paths, so
+    every referenced field is charged one 32-bit container slot — a
+    conservative, monotone proxy that preserves the paper's "fewer parse
+    calls reduce PHV usage" behaviour.
+    """
+    return 32 * len(fields)

@@ -1,0 +1,116 @@
+"""RMT pipeline resource model (Tofino-2-like).
+
+Concrete per-stage capacities for an RMT match-action pipeline.  The
+numbers are of the published order of magnitude for Tofino 2 (20 stages,
+~10 SRAM blocks and ~2 TCAM blocks' worth of match capacity per stage in
+our simplified accounting); the experiments only depend on *relative*
+resource consumption, per the reproduction's substitution policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Hardware envelope of one RMT pipeline."""
+
+    name: str = "tofino2"
+    num_stages: int = 20
+    # Per-stage capacities.
+    sram_bits_per_stage: int = 128 * 1024 * 8 * 10  # 10 blocks x 128 KiB
+    tcam_bits_per_stage: int = 44 * 512 * 24  # 24 TCAM blocks of 512x44
+    tables_per_stage: int = 8
+    gateways_per_stage: int = 16
+    alus_per_stage: int = 32
+    # Whole-pipeline packet header vector budget (bits).
+    phv_bits: int = 4096
+
+
+TOFINO2 = PipelineSpec()
+TOFINO1 = PipelineSpec(
+    name="tofino1",
+    num_stages=12,
+    sram_bits_per_stage=128 * 1024 * 8 * 8,
+    tcam_bits_per_stage=44 * 512 * 16,
+    tables_per_stage=6,
+    gateways_per_stage=12,
+    alus_per_stage=24,
+    phv_bits=3072,
+)
+
+
+@dataclass
+class StageUsage:
+    """Resources consumed in one physical stage."""
+
+    index: int
+    tables: list = field(default_factory=list)  # node names (incl. gateways)
+    table_count: int = 0  # real match-action tables only
+    sram_bits: int = 0
+    tcam_bits: int = 0
+    gateways: int = 0
+    alus: int = 0
+
+    def fits(self, spec: PipelineSpec, extra_sram: int, extra_tcam: int,
+             extra_tables: int, extra_gateways: int, extra_alus: int) -> bool:
+        return (
+            self.table_count + extra_tables <= spec.tables_per_stage
+            and self.sram_bits + extra_sram <= spec.sram_bits_per_stage
+            and self.tcam_bits + extra_tcam <= spec.tcam_bits_per_stage
+            and self.gateways + extra_gateways <= spec.gateways_per_stage
+            and self.alus + extra_alus <= spec.alus_per_stage
+        )
+
+
+class ResourceError(RuntimeError):
+    """The program does not fit the pipeline."""
+
+
+@dataclass
+class ResourceReport:
+    """Whole-program resource accounting produced by the allocator."""
+
+    spec: PipelineSpec
+    stages_used: int
+    stage_usages: list
+    total_sram_bits: int
+    total_tcam_bits: int
+    phv_bits_used: int
+    total_tables: int
+    total_gateways: int
+
+    @property
+    def at_capacity(self) -> bool:
+        return self.stages_used >= self.spec.num_stages
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name}: {self.stages_used}/{self.spec.num_stages} stages, "
+            f"{self.total_tables} tables, {self.total_gateways} gateways, "
+            f"SRAM {self.total_sram_bits // 8 // 1024} KiB, "
+            f"TCAM {self.total_tcam_bits // 8 // 1024} KiB, "
+            f"PHV {self.phv_bits_used}/{self.spec.phv_bits} bits"
+        )
+
+
+def table_memory_bits(
+    match_kind_bits_exact: int,
+    match_kind_bits_ternary: int,
+    match_kind_bits_lpm: int,
+    entries: int,
+    action_param_bits: int,
+) -> tuple[int, int]:
+    """(sram_bits, tcam_bits) for one table's match + action memories.
+
+    Exact keys live in SRAM hash tables (~1.25x overhead for hashing),
+    ternary and LPM keys occupy TCAM (value+mask, hence 2x), and action
+    data always lives in SRAM.
+    """
+    entries = max(entries, 1)
+    sram = int(match_kind_bits_exact * entries * 1.25)
+    sram += action_param_bits * entries
+    sram += entries * 8  # action-select / next-table pointers
+    tcam = (match_kind_bits_ternary + match_kind_bits_lpm) * entries * 2
+    return sram, tcam

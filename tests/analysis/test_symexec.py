@@ -1,0 +1,281 @@
+"""Tests for the state-merging symbolic executor."""
+
+import pytest
+
+from repro.analysis import (
+    DROP_PATH,
+    KIND_ACTION_VALUE,
+    KIND_ASSIGN,
+    KIND_IF,
+    KIND_SELECT,
+    VALID_SUFFIX,
+    AnalysisError,
+    analyze,
+)
+from repro.p4.parser import parse_program
+from repro.programs.fig5 import FIG5_SOURCE
+from repro.smt import evaluate, simplify, substitute, terms as T, to_string
+
+
+def _program(body: str, locals_: str = "", meta_fields: str = "bit<8> m;") -> str:
+    return f"""
+header h_t {{ bit<8> f; bit<8> g; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ {meta_fields} }}
+parser P(inout headers_t hdr, inout meta_t meta) {{
+    state start {{ pkt_extract(hdr.h); transition accept; }}
+}}
+control C(inout headers_t hdr, inout meta_t meta) {{
+{locals_}
+    apply {{ {body} }}
+}}
+Pipeline(P(), C()) main;
+"""
+
+
+def analyze_src(source):
+    return analyze(parse_program(source))
+
+
+class TestBasics:
+    def test_fig5_annotation_shape(self):
+        """The value of egress_port after the table matches Fig. 5a line 11."""
+        model = analyze_src(FIG5_SOURCE)
+        final = model.final_store["meta.egress_port"]
+        rendered = to_string(final)
+        assert "|Fig5Ingress.port_table.action|" in rendered
+        assert "|Fig5Ingress.port_table.set.port_var|" in rendered
+
+    def test_metadata_zero_initialized(self):
+        model = analyze_src(_program(""))
+        assert model.final_store["meta.m"] is T.bv_const(0, 8)
+
+    def test_header_fields_are_data_vars(self):
+        model = analyze_src(_program(""))
+        assert model.final_store["hdr.h.f"].is_data_var
+
+    def test_intrinsic_metadata_is_data_var(self):
+        source = _program("").replace(
+            "parser P(inout headers_t hdr, inout meta_t meta)",
+            "parser P(inout headers_t hdr, inout meta_t meta, inout intr_t intr)",
+        ).replace(
+            "control C(inout headers_t hdr, inout meta_t meta)",
+            "control C(inout headers_t hdr, inout meta_t meta, inout intr_t intr)",
+        ).replace(
+            "struct meta_t", "struct intr_t { bit<9> port; }\nstruct meta_t"
+        )
+        model = analyze_src(source)
+        assert model.final_store["intr.port"].is_data_var
+
+    def test_extracted_header_valid(self):
+        model = analyze_src(_program(""))
+        assert model.final_store["hdr.h" + VALID_SUFFIX] is T.TRUE
+        assert model.extracted_headers == ["hdr.h"]
+
+    def test_assignment_point_recorded(self):
+        model = analyze_src(_program("meta.m = hdr.h.f;"))
+        assigns = [p for p in model.points.values() if p.kind == KIND_ASSIGN]
+        assert len(assigns) == 1
+        assert assigns[0].expr.is_data_var
+
+
+class TestControlFlow:
+    def test_if_merges_with_ite(self):
+        model = analyze_src(
+            _program("if (hdr.h.f == 0) { meta.m = 1; } else { meta.m = 2; }")
+        )
+        final = model.final_store["meta.m"]
+        assert evaluate(final, {"hdr.h.f": 0}) == 1
+        assert evaluate(final, {"hdr.h.f": 7}) == 2
+
+    def test_if_point_recorded(self):
+        model = analyze_src(_program("if (hdr.h.f == 0) { meta.m = 1; }"))
+        ifs = [p for p in model.points.values() if p.kind == KIND_IF]
+        assert len(ifs) == 1
+
+    def test_constant_condition_pruned_during_analysis(self):
+        model = analyze_src(_program("if (meta.m == 0) { meta.m = 1; }"))
+        # meta.m is 0 initially: the executor takes the then branch directly.
+        assert model.final_store["meta.m"] is T.bv_const(1, 8)
+
+    def test_exit_stops_subsequent_writes(self):
+        body = """
+        if (hdr.h.f == 0) { exit; }
+        meta.m = 5;
+        """
+        model = analyze_src(_program(body))
+        final = model.final_store["meta.m"]
+        assert evaluate(final, {"hdr.h.f": 0}) == 0  # exited before write
+        assert evaluate(final, {"hdr.h.f": 1}) == 5
+
+    def test_slice_assignment(self):
+        model = analyze_src(_program("meta.m[3:0] = hdr.h.f[7:4];"))
+        final = model.final_store["meta.m"]
+        assert evaluate(final, {"hdr.h.f": 0xA5}) == 0x0A
+
+    def test_local_variables(self):
+        body = "bit<8> tmp = hdr.h.f; meta.m = tmp + 1;"
+        model = analyze_src(_program(body))
+        assert evaluate(model.final_store["meta.m"], {"hdr.h.f": 7}) == 8
+
+    def test_direct_action_call(self):
+        locals_ = "action bump(bit<8> v) { meta.m = meta.m + v; }"
+        model = analyze_src(_program("bump(8w3);", locals_))
+        assert model.final_store["meta.m"] is T.bv_const(3, 8)
+
+    def test_mark_to_drop(self):
+        model = analyze_src(_program("mark_to_drop();"))
+        assert model.final_store[DROP_PATH] is T.TRUE
+
+    def test_register_read_is_unconstrained(self):
+        locals_ = "register<bit<8>>(4) reg;"
+        model = analyze_src(_program("reg.read(meta.m, 8w0);", locals_))
+        assert model.final_store["meta.m"].is_data_var
+
+
+TABLE_LOCALS = """
+    action set(bit<8> v) { meta.m = v; }
+    action drop_it() { mark_to_drop(); }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: exact; }
+        actions = { set; drop_it; noop; }
+        default_action = noop();
+        size = 16;
+    }
+"""
+
+
+class TestTables:
+    def test_table_info_recorded(self):
+        model = analyze_src(_program("t.apply();", TABLE_LOCALS))
+        info = model.table("t")
+        assert info.name == "C.t"
+        assert info.action_codes == {"set": 0, "drop_it": 1, "noop": 2}
+        assert info.default_action == "noop"
+        assert [k.match_kind for k in info.keys] == ["exact"]
+        assert info.keys[0].term.is_data_var
+
+    def test_selector_guards_effects(self):
+        model = analyze_src(_program("t.apply();", TABLE_LOCALS))
+        info = model.table("t")
+        final = model.final_store["meta.m"]
+        # Substituting selector = set-code makes meta.m the param var.
+        chosen = substitute(
+            final, {info.selector_var: T.bv_const(0, 8)}
+        )
+        assert chosen is info.action_params["set"][0].var
+
+    def test_taint_maps_control_vars_to_points(self):
+        model = analyze_src(_program("t.apply(); meta.m = meta.m + 1;", TABLE_LOCALS))
+        sel_name = model.table("t").selector_var.name
+        tainted = model.points_for_control_vars([sel_name])
+        assert tainted  # downstream assignment sees the selector
+
+    def test_double_apply_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_src(_program("t.apply(); t.apply();", TABLE_LOCALS))
+
+    def test_hit_condition(self):
+        body = "if (t.apply().hit) { meta.m = 1; } else { meta.m = 2; }"
+        model = analyze_src(_program(body, TABLE_LOCALS))
+        info = model.table("t")
+        final = model.final_store["meta.m"]
+        on_hit = simplify(substitute(final, {
+            info.hit_var: T.bv_const(1, 1),
+            info.selector_var: T.bv_const(2, 8),
+        }))
+        assert on_hit is T.bv_const(1, 8)
+
+    def test_switch_statement(self):
+        body = """
+        switch (t.apply().action_run) {
+            set: { meta.m = 10; }
+            drop_it: { meta.m = 20; }
+            default: { meta.m = 30; }
+        }
+        """
+        model = analyze_src(_program(body, TABLE_LOCALS))
+        info = model.table("t")
+        final = model.final_store["meta.m"]
+        for code, expected in ((0, 10), (1, 20), (2, 30)):
+            value = simplify(substitute(final, {
+                info.selector_var: T.bv_const(code, 8),
+                info.action_params["set"][0].var: T.bv_const(0, 8),
+            }))
+            assert value is T.bv_const(expected, 8)
+
+    def test_default_action_args_captured(self):
+        locals_ = TABLE_LOCALS.replace("default_action = noop();", "default_action = set(8w7);")
+        model = analyze_src(_program("t.apply();", locals_))
+        info = model.table("t")
+        assert info.default_args == (7,)
+
+
+class TestParser:
+    SELECT_SOURCE = """
+header a_t { bit<8> tag; }
+header b_t { bit<8> x; }
+struct headers_t { a_t a; b_t b; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt_extract(hdr.a);
+        transition select(hdr.a.tag) {
+            1: parse_b;
+            default: accept;
+        }
+    }
+    state parse_b {
+        pkt_extract(hdr.b);
+        transition accept;
+    }
+}
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+Pipeline(P(), C()) main;
+"""
+
+    def test_conditional_validity(self):
+        model = analyze(parse_program(self.SELECT_SOURCE))
+        validity = model.final_store["hdr.b" + VALID_SUFFIX]
+        assert evaluate(validity, {"hdr.a.tag": 1}) == 1
+        assert evaluate(validity, {"hdr.a.tag": 2}) == 0
+
+    def test_select_points_recorded(self):
+        model = analyze(parse_program(self.SELECT_SOURCE))
+        selects = [p for p in model.points.values() if p.kind == KIND_SELECT]
+        assert len(selects) == 2  # every case gets a guard point
+        by_target = {p.context: p for p in selects}
+        assert "select -> parse_b" in by_target
+
+    def test_extraction_order(self):
+        model = analyze(parse_program(self.SELECT_SOURCE))
+        assert model.extracted_headers == ["hdr.a", "hdr.b"]
+
+    def test_no_matching_case_rejects(self):
+        source = self.SELECT_SOURCE.replace("default: accept;", "2: parse_b;")
+        model = analyze(parse_program(source))
+        drop = model.final_store[DROP_PATH]
+        assert evaluate(drop, {"hdr.a.tag": 9}) == 1
+        assert evaluate(drop, {"hdr.a.tag": 1}) == 0
+
+    def test_skip_parser_mode(self):
+        model = analyze(parse_program(self.SELECT_SOURCE), skip_parser=True)
+        assert model.skipped_parser
+        validity = model.final_store["hdr.b" + VALID_SUFFIX]
+        # Validity is a free (data-plane) condition, not computed from tags.
+        assert not T.control_variables(validity)
+        assert model.extracted_headers == ["hdr.a", "hdr.b"]
+
+    def test_value_set_symbols(self):
+        source = self.SELECT_SOURCE.replace(
+            "parser P(inout headers_t hdr, inout meta_t meta) {",
+            "parser P(inout headers_t hdr, inout meta_t meta) {\n"
+            "    value_set<bit<8>>(2) pvs;",
+        ).replace("1: parse_b;", "pvs: parse_b;")
+        model = analyze(parse_program(source))
+        vs = model.value_set("pvs")
+        assert vs.size == 2
+        validity = model.final_store["hdr.b" + VALID_SUFFIX]
+        names = {v.name for v in T.control_variables(validity)}
+        assert f"{vs.name}.valid0" in names

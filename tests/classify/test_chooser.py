@@ -1,0 +1,64 @@
+"""Tests for configuration-driven classifier selection."""
+
+from repro.classify import ClassifierChooser, Rule, RulePattern
+
+W = 16
+FULL = (1 << W) - 1
+
+
+def prefix_rule(value, length, action="a"):
+    mask = ((1 << length) - 1) << (W - length) if length else 0
+    return Rule(value & mask, mask, priority=length, action=action)
+
+
+class TestChoice:
+    def test_exact_rules_pick_exact_table(self):
+        chooser = ClassifierChooser(W)
+        rules = [Rule(i, FULL, 1, "a") for i in range(50)]
+        chosen, report = chooser.choose(rules)
+        assert chosen.name == "exact"
+        assert report.savings_vs_tcam() > 0.5
+
+    def test_prefix_rules_avoid_tcam(self):
+        chooser = ClassifierChooser(W)
+        rules = [prefix_rule(i << 8, 8) for i in range(50)]
+        chosen, report = chooser.choose(rules)
+        assert chosen.name in ("lpm-trie", "stcam")
+        assert report.alternatives["tcam"] > report.footprint_bits
+
+    def test_arbitrary_masks_force_tcam(self):
+        chooser = ClassifierChooser(W, stcam_max_masks=4)
+        rules = [Rule(i, (i * 2654435761) & FULL or 1, i + 1, "a") for i in range(40)]
+        chosen, report = chooser.choose(rules)
+        assert report.alternatives["exact"] is None
+        assert report.alternatives["lpm-trie"] is None
+        assert chosen.name == "tcam"
+
+    def test_chosen_structure_still_classifies(self):
+        chooser = ClassifierChooser(W)
+        rules = [Rule(7, FULL, 1, "seven")]
+        chosen, _ = chooser.choose(rules)
+        assert chosen.lookup(7).action == "seven"
+
+
+class TestPattern:
+    def test_pattern_of(self):
+        rules = [Rule(1, FULL, 1, "a"), Rule(2, FULL, 1, "a")]
+        pattern = RulePattern.of(rules, W)
+        assert pattern.all_exact and pattern.all_prefix
+        assert pattern.distinct_masks == 1
+        assert pattern.rule_count == 2
+
+    def test_pattern_changed_on_new_mask(self):
+        chooser = ClassifierChooser(W)
+        before = RulePattern.of([Rule(1, FULL, 1, "a")], W)
+        after = RulePattern.of(
+            [Rule(1, FULL, 1, "a"), Rule(0, 0xFF00, 2, "a")], W
+        )
+        assert chooser.pattern_changed(before, after)
+
+    def test_pattern_unchanged_on_growth(self):
+        chooser = ClassifierChooser(W)
+        before = RulePattern.of([Rule(1, FULL, 1, "a")], W)
+        after = RulePattern.of([Rule(1, FULL, 1, "a"), Rule(2, FULL, 1, "a")], W)
+        assert not chooser.pattern_changed(before, after)

@@ -1,0 +1,156 @@
+"""Tests for the packet-classification data structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classify import (
+    ClassifierError,
+    ExactClassifier,
+    LpmTrieClassifier,
+    Rule,
+    StcamClassifier,
+    TcamClassifier,
+)
+
+W = 16
+FULL = (1 << W) - 1
+
+
+def prefix_rule(value, length, action="a"):
+    mask = ((1 << length) - 1) << (W - length) if length else 0
+    return Rule(value & mask, mask, priority=length, action=action)
+
+
+class TestTcam:
+    def test_priority_order(self):
+        tcam = TcamClassifier(W)
+        tcam.install([
+            Rule(0x1200, 0xFF00, 1, "low"),
+            Rule(0x1234, FULL, 10, "high"),
+        ])
+        assert tcam.lookup(0x1234).action == "high"
+        assert tcam.lookup(0x1299).action == "low"
+        assert tcam.lookup(0x9999) is None
+
+    def test_footprint_scales(self):
+        small = TcamClassifier(W)
+        small.install([Rule(i, FULL, i, "a") for i in range(10)])
+        large = TcamClassifier(W)
+        large.install([Rule(i, FULL, i, "a") for i in range(100)])
+        assert large.footprint_bits() > small.footprint_bits()
+
+
+class TestExact:
+    def test_lookup(self):
+        exact = ExactClassifier(W)
+        exact.install([Rule(5, FULL, 1, "five")])
+        assert exact.lookup(5).action == "five"
+        assert exact.lookup(6) is None
+
+    def test_partial_mask_rejected(self):
+        exact = ExactClassifier(W)
+        with pytest.raises(ClassifierError):
+            exact.install([Rule(5, 0xFF00, 1, "a")])
+
+    def test_duplicate_keys_keep_higher_priority(self):
+        exact = ExactClassifier(W)
+        exact.install([Rule(5, FULL, 1, "low"), Rule(5, FULL, 9, "high")])
+        assert exact.lookup(5).action == "high"
+
+    def test_cheaper_than_tcam(self):
+        rules = [Rule(i, FULL, 1, "a") for i in range(64)]
+        exact = ExactClassifier(W)
+        exact.install(rules)
+        tcam = TcamClassifier(W)
+        tcam.install(rules)
+        assert exact.footprint_bits() < tcam.footprint_bits()
+
+
+class TestStcam:
+    def test_mask_groups(self):
+        stcam = StcamClassifier(W, max_masks=4)
+        stcam.install([
+            Rule(0x1234, FULL, 10, "exact"),
+            Rule(0x1200, 0xFF00, 5, "prefix"),
+        ])
+        assert stcam.lookup(0x1234).action == "exact"
+        assert stcam.lookup(0x12AB).action == "prefix"
+        assert stcam.lookup(0x9999) is None
+
+    def test_too_many_masks_rejected(self):
+        stcam = StcamClassifier(W, max_masks=2)
+        rules = [Rule(0, 1 << i, 1, "a") for i in range(3)]
+        with pytest.raises(ClassifierError):
+            stcam.install(rules)
+
+    def test_priority_across_groups(self):
+        stcam = StcamClassifier(W, max_masks=4)
+        stcam.install([
+            Rule(0x1234, FULL, 1, "low-exact"),
+            Rule(0x1200, 0xFF00, 10, "high-prefix"),
+        ])
+        assert stcam.lookup(0x1234).action == "high-prefix"
+
+
+class TestLpmTrie:
+    def test_longest_prefix_wins(self):
+        trie = LpmTrieClassifier(W)
+        trie.install([prefix_rule(0x1200, 8, "short"), prefix_rule(0x1230, 12, "long")])
+        assert trie.lookup(0x1234).action == "long"
+        assert trie.lookup(0x12FF).action == "short"
+        assert trie.lookup(0x9999) is None
+
+    def test_default_route(self):
+        trie = LpmTrieClassifier(W)
+        trie.install([prefix_rule(0, 0, "default")])
+        assert trie.lookup(0xFFFF).action == "default"
+
+    def test_non_prefix_mask_rejected(self):
+        trie = LpmTrieClassifier(W)
+        with pytest.raises(ClassifierError):
+            trie.install([Rule(0, 0x0F0F, 1, "a")])
+
+
+# -- cross-structure agreement property -------------------------------------
+
+
+@given(
+    rules=st.lists(
+        st.tuples(st.integers(0, FULL), st.integers(0, W)),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    ),
+    key=st.integers(0, FULL),
+)
+@settings(max_examples=200, deadline=None)
+def test_structures_agree_on_prefix_rules(rules, key):
+    """For prefix rule sets with priority = prefix length, every feasible
+    structure returns the same winning rule (the §3 soundness condition for
+    swapping structures)."""
+    rule_objs = [prefix_rule(v, l) for v, l in rules]
+    # Deduplicate by (value & mask, mask): same key-space entry.
+    seen = {}
+    for rule in rule_objs:
+        seen[(rule.value & rule.mask, rule.mask)] = rule
+    rule_objs = list(seen.values())
+
+    tcam = TcamClassifier(W)
+    tcam.install(rule_objs)
+    expected = tcam.lookup(key)
+
+    trie = LpmTrieClassifier(W)
+    trie.install(rule_objs)
+    got = trie.lookup(key)
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None and got.priority == expected.priority
+
+    stcam = StcamClassifier(W, max_masks=W + 1)
+    stcam.install(rule_objs)
+    got = stcam.lookup(key)
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None and got.priority == expected.priority

@@ -1,0 +1,87 @@
+"""Tests for the eBPF map model."""
+
+import pytest
+
+from repro.ebpf import ARRAY, Field, HASH, LPM_TRIE, MapError, MapRuntime, MapSpec
+from repro.runtime.entries import ExactMatch, LpmMatch
+from repro.runtime.semantics import DELETE, INSERT, MODIFY
+
+
+def hash_map(name="m", key_width=32, values=(("v", 16),)):
+    return MapSpec(
+        name, HASH, (Field("k", key_width),), tuple(Field(n, w) for n, w in values)
+    )
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MapSpec("m", "ringbuf", (Field("k", 32),), (Field("v", 32),))
+
+    def test_lpm_requires_single_key(self):
+        with pytest.raises(ValueError):
+            MapSpec("m", LPM_TRIE, (Field("a", 32), Field("b", 32)), (Field("v", 8),))
+
+    def test_array_key_bounds(self):
+        with pytest.raises(ValueError):
+            MapSpec("m", ARRAY, (Field("idx", 64),), (Field("v", 8),))
+
+    def test_table_and_action_names(self):
+        spec = hash_map("counters")
+        assert spec.table_name == "map_counters"
+        assert spec.action_name == "set_counters_value"
+
+
+class TestRuntime:
+    def test_update_then_modify(self):
+        runtime = MapRuntime(hash_map(), "C.map_m")
+        first = runtime.update_elem(5, (7,))
+        assert first.op == INSERT
+        second = runtime.update_elem(5, (9,))
+        assert second.op == MODIFY
+        assert len(runtime) == 1
+
+    def test_delete(self):
+        runtime = MapRuntime(hash_map(), "C.map_m")
+        runtime.update_elem(5, (7,))
+        update = runtime.delete_elem(5)
+        assert update.op == DELETE
+        assert len(runtime) == 0
+
+    def test_delete_missing_rejected(self):
+        runtime = MapRuntime(hash_map(), "C.map_m")
+        with pytest.raises(MapError):
+            runtime.delete_elem(5)
+
+    def test_key_width_checked(self):
+        runtime = MapRuntime(hash_map(key_width=8), "C.map_m")
+        with pytest.raises(MapError):
+            runtime.update_elem(256, (1,))
+
+    def test_value_arity_checked(self):
+        runtime = MapRuntime(hash_map(values=(("a", 8), ("b", 8))), "C.map_m")
+        with pytest.raises(MapError):
+            runtime.update_elem(1, (1,))
+
+    def test_lpm_requires_prefix(self):
+        spec = MapSpec("r", LPM_TRIE, (Field("dst", 32),), (Field("v", 8),))
+        runtime = MapRuntime(spec, "C.map_r")
+        with pytest.raises(MapError):
+            runtime.update_elem(0x0A000000, (1,))
+        update = runtime.update_elem(0x0A000000, (1,), prefix_len=8)
+        assert isinstance(update.entry.matches[0], LpmMatch)
+
+    def test_array_index_bounds(self):
+        spec = MapSpec("a", ARRAY, (Field("idx", 16),), (Field("v", 8),), max_entries=4)
+        runtime = MapRuntime(spec, "C.map_a")
+        runtime.update_elem(3, (1,))
+        with pytest.raises(MapError):
+            runtime.update_elem(4, (1,))
+
+    def test_hash_entry_shape(self):
+        runtime = MapRuntime(hash_map(), "C.map_m")
+        update = runtime.update_elem(0xAB, (3,))
+        assert update.table == "C.map_m"
+        assert update.entry.matches == (ExactMatch(0xAB),)
+        assert update.entry.action == "set_m_value"
+        assert update.entry.args == (3,)

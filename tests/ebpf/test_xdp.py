@@ -1,0 +1,166 @@
+"""Tests for XDP program translation and the EbpfFlay pipeline."""
+
+import pytest
+
+from repro.ebpf import (
+    Assign,
+    EbpfFlay,
+    If,
+    Lookup,
+    Return,
+    ScratchVar,
+    TranslationError,
+    XDP_DROP,
+    XDP_PASS,
+    XDP_REDIRECT,
+    XdpProgram,
+    translate,
+)
+from repro.p4.parser import parse_program
+
+
+def firewall_program() -> XdpProgram:
+    prog = XdpProgram("xdp_fw")
+    prog.hash_map("blocked", key=[("saddr", 32)], value=[("hits", 32)])
+    prog.lpm_map("routes", key=[("daddr", 32)], value=[("ifindex", 16)])
+    prog.body = [
+        If(
+            "ctx.ip.isValid()",
+            then=(
+                Lookup("blocked", ("ctx.ip.saddr",), hit=(Return(XDP_DROP),)),
+                Lookup(
+                    "routes",
+                    ("ctx.ip.daddr",),
+                    hit=(
+                        Assign("ctx.ip.ttl", "ctx.ip.ttl - 1"),
+                        Return(XDP_REDIRECT, "meta.routes_ifindex"),
+                    ),
+                    miss=(Return(XDP_PASS),),
+                ),
+            ),
+        ),
+    ]
+    return prog
+
+
+class TestTranslation:
+    def test_output_parses(self):
+        program = parse_program(translate(firewall_program()))
+        assert program.pipeline.parser == "XdpParser"
+
+    def test_map_kinds_become_match_kinds(self):
+        text = translate(firewall_program())
+        assert "ctx.ip.saddr: exact;" in text
+        assert "ctx.ip.daddr: lpm;" in text
+
+    def test_value_fields_become_metadata(self):
+        text = translate(firewall_program())
+        assert "bit<16> routes_ifindex;" in text
+        assert "bit<32> blocked_hits;" in text
+
+    def test_returns_become_verdicts(self):
+        text = translate(firewall_program())
+        assert f"meta.xdp_verdict = {XDP_DROP};" in text
+        assert "mark_to_drop();" in text
+        assert "exit;" in text
+
+    def test_unused_map_has_no_table(self):
+        prog = firewall_program()
+        prog.hash_map("unused", key=[("k", 8)], value=[("v", 8)])
+        text = translate(prog)
+        assert "table map_unused" not in text
+
+    def test_double_lookup_rejected(self):
+        prog = firewall_program()
+        prog.body.append(Lookup("blocked", ("ctx.ip.daddr",)))
+        with pytest.raises(TranslationError):
+            translate(prog)
+
+    def test_key_arity_checked(self):
+        prog = firewall_program()
+        prog.body = [Lookup("blocked", ("ctx.ip.saddr", "ctx.ip.daddr"))]
+        with pytest.raises(TranslationError):
+            translate(prog)
+
+    def test_redirect_requires_expr(self):
+        prog = XdpProgram("p")
+        prog.body = [Return(XDP_REDIRECT)]
+        with pytest.raises(TranslationError):
+            translate(prog)
+
+    def test_scratch_vars_emitted(self):
+        prog = XdpProgram("p")
+        prog.scratch.append(ScratchVar("acc", 16))
+        prog.body = [Assign("meta.acc", "16w1")]
+        assert "bit<16> acc;" in translate(prog)
+
+
+class TestEbpfFlay:
+    def test_empty_maps_collapse_program(self):
+        flay = EbpfFlay(firewall_program())
+        text = flay.specialized_source()
+        # No map entries: both lookups always miss -> everything folds to
+        # "return XDP_PASS".
+        assert "map_blocked" not in text
+        assert "map_routes" not in text
+        assert "ctx.ip.ttl" not in text
+
+    def test_first_map_entry_recompiles(self):
+        flay = EbpfFlay(firewall_program())
+        result = flay.map_update_elem("blocked", 0x0A000001, 0)
+        assert result.decision.recompiled
+        assert "map_blocked" in flay.specialized_source()
+
+    def test_subsequent_entries_forwarded(self):
+        flay = EbpfFlay(firewall_program())
+        flay.map_update_elem("blocked", 0x0A000001, 0)
+        flay.map_update_elem("blocked", 0x0A000002, 0)
+        result = flay.map_update_elem("blocked", 0x0A000003, 0)
+        assert result.decision.forwarded
+
+    def test_delete_back_to_empty_recompiles(self):
+        flay = EbpfFlay(firewall_program())
+        flay.map_update_elem("blocked", 0x0A000001, 0)
+        result = flay.map_delete_elem("blocked", 0x0A000001)
+        assert result.decision.recompiled
+        assert "map_blocked" not in flay.specialized_source()
+
+    def test_unused_map_update_rejected(self):
+        prog = firewall_program()
+        prog.hash_map("unused", key=[("k", 8)], value=[("v", 8)])
+        flay = EbpfFlay(prog)
+        with pytest.raises(KeyError):
+            flay.map_update_elem("unused", 1, 1)
+
+    def test_specialized_equals_original_on_packets(self):
+        """The soundness invariant holds through the eBPF surface too."""
+        from repro.runtime.semantics import ControlPlaneState
+        from repro.targets.bmv2 import Interpreter, PacketBuilder
+
+        flay = EbpfFlay(firewall_program())
+        flay.map_update_elem("blocked", 0x0A000001, 0)
+        flay.map_update_elem("routes", 0x0B000000, 7, prefix_len=8)
+
+        def ip_packet(saddr, daddr):
+            return (
+                PacketBuilder()
+                .push(0, 48).push(0, 48).push(0x0800, 16)   # eth
+                .push(4, 4).push(5, 4).push(0, 8).push(40, 16)
+                .push(0, 16).push(0, 16).push(64, 8).push(6, 8)
+                .push(0, 16).push(saddr, 32).push(daddr, 32)
+                .build()
+            )
+
+        original = Interpreter(flay.flay.runtime.program)
+        specialized = Interpreter(flay.flay.specialized_program)
+        state = flay.flay.runtime.state
+        for saddr, daddr in (
+            (0x0A000001, 0x0B000005),  # blocked source
+            (0x01020304, 0x0B000005),  # routed
+            (0x01020304, 0x0C000005),  # miss -> pass
+        ):
+            a = original.run(ip_packet(saddr, daddr), state)
+            b = specialized.run(ip_packet(saddr, daddr), state)
+            assert a.dropped == b.dropped
+            assert a.store["meta.xdp_verdict"] == b.store["meta.xdp_verdict"]
+            assert a.store["meta.redirect_ifindex"] == b.store["meta.redirect_ifindex"]

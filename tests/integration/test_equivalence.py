@@ -1,0 +1,239 @@
+"""The soundness invariant: for any control-plane configuration and any
+packet, the Flay-specialized program behaves exactly like the original.
+
+This is the property that makes "forward the update without recompiling"
+safe: the specialized implementation plus the same entries must be
+indistinguishable from the original program on the wire.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Flay, FlayOptions
+from repro.p4.parser import parse_program
+from repro.runtime.entries import ExactMatch, TableEntry, TernaryMatch
+from repro.runtime.fuzzer import EntryFuzzer
+from repro.runtime.semantics import INSERT, Update
+from repro.targets.bmv2 import Interpreter, Packet
+
+SOURCE = """
+header eth_t { bit<48> dst; bit<48> src; bit<16> type; }
+header ipv4_t { bit<8> ttl; bit<8> proto; bit<32> src; bit<32> dst; }
+struct headers_t { eth_t eth; ipv4_t ipv4; }
+struct meta_t { bit<9> port; bit<8> verdict; bit<8> class; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt_extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt_extract(hdr.ipv4);
+        transition accept;
+    }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action fwd(bit<9> port) { meta.port = port; }
+    action classify(bit<8> class) { meta.class = class; }
+    action deny() { meta.verdict = 1; mark_to_drop(); }
+    action noop() { }
+    table acl {
+        key = { hdr.ipv4.src: ternary; hdr.ipv4.proto: ternary; }
+        actions = { deny; classify; noop; }
+        default_action = noop();
+    }
+    table fwd_table {
+        key = { hdr.eth.dst: exact; }
+        actions = { fwd; noop; }
+        default_action = noop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            acl.apply();
+            if (meta.verdict == 0) {
+                fwd_table.apply();
+                if (meta.class == 3) {
+                    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                }
+            }
+        }
+    }
+}
+Pipeline(P(), C()) main;
+"""
+
+#: Paths the comparison ignores: headers pruned from the specialized
+#: parser are payload, and trace/internal bookkeeping differs legitimately.
+IGNORE = ()
+
+
+def outputs_equal(original_result, specialized_result, pruned_headers):
+    ignored = tuple(pruned_headers)
+    a = original_result.output_view(ignore_prefixes=ignored)
+    b = specialized_result.output_view(ignore_prefixes=ignored)
+    # The specialized store may lack pruned paths entirely; compare the
+    # intersection plus insist both agree on drop/error.
+    keys = set(a) & set(b)
+    assert original_result.dropped == specialized_result.dropped
+    assert original_result.parser_error == specialized_result.parser_error
+    for key in keys:
+        assert a[key] == b[key], key
+    return True
+
+
+@st.composite
+def configs(draw):
+    updates = []
+    num_acl = draw(st.integers(0, 4))
+    for i in range(num_acl):
+        action = draw(st.sampled_from(["deny", "classify", "noop"]))
+        args = ()
+        if action == "classify":
+            args = (draw(st.integers(0, 255)),)
+        updates.append(
+            Update(
+                "acl",
+                INSERT,
+                TableEntry(
+                    (
+                        TernaryMatch(
+                            draw(st.integers(0, 2**32 - 1)),
+                            draw(st.sampled_from([0, 0xFF000000, 0xFFFFFFFF])),
+                        ),
+                        TernaryMatch(draw(st.integers(0, 255)), draw(st.sampled_from([0, 0xFF]))),
+                    ),
+                    action,
+                    args,
+                    priority=i + 1,
+                ),
+            )
+        )
+    num_fwd = draw(st.integers(0, 3))
+    macs = draw(
+        st.lists(st.integers(0, 2**48 - 1), min_size=num_fwd, max_size=num_fwd, unique=True)
+    )
+    for mac in macs:
+        updates.append(
+            Update(
+                "fwd_table",
+                INSERT,
+                TableEntry((ExactMatch(mac),), "fwd", (draw(st.integers(0, 511)),)),
+            )
+        )
+    return updates
+
+
+@given(
+    updates=configs(),
+    packet_bytes=st.binary(min_size=0, max_size=40),
+)
+@settings(max_examples=150, deadline=None)
+def test_specialized_equals_original_on_random_packets(updates, packet_bytes):
+    flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+    for update in updates:
+        flay.process_update(update)
+
+    original = Interpreter(flay.runtime.program)
+    specialized = Interpreter(flay.specialized_program)
+    state = flay.runtime.state
+
+    result_orig = original.run(Packet(packet_bytes), state)
+    result_spec = specialized.run(Packet(packet_bytes), state)
+    outputs_equal(result_orig, result_spec, flay.report.pruned_headers)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_equivalence_after_fuzzer_bursts(data):
+    """Same property, driving the configuration through the fuzzer."""
+    flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+    fuzzer = EntryFuzzer(flay.model, seed=data.draw(st.integers(0, 1000)))
+    count = data.draw(st.integers(0, 30))
+    flay.process_batch(fuzzer.insert_burst("acl", count))
+    packet_bytes = data.draw(st.binary(min_size=0, max_size=40))
+
+    state = flay.runtime.state
+    result_orig = Interpreter(flay.runtime.program).run(Packet(packet_bytes), state)
+    result_spec = Interpreter(flay.specialized_program).run(Packet(packet_bytes), state)
+    outputs_equal(result_orig, result_spec, flay.report.pruned_headers)
+
+
+class TestDirectedEquivalence:
+    """Hand-picked packets through every specialization shape."""
+
+    def _run_both(self, flay, packet_bytes):
+        state = flay.runtime.state
+        orig = Interpreter(flay.runtime.program).run(Packet(packet_bytes), state)
+        spec = Interpreter(flay.specialized_program).run(Packet(packet_bytes), state)
+        outputs_equal(orig, spec, flay.report.pruned_headers)
+        return orig
+
+    def _ipv4_packet(self, src=0x0A0A0A0A, proto=6, dst_mac=0x112233445566):
+        from repro.targets.bmv2 import PacketBuilder
+
+        return (
+            PacketBuilder()
+            .push(dst_mac, 48)
+            .push(0xAAAAAAAAAAAA, 48)
+            .push(0x0800, 16)
+            .push(64, 8)
+            .push(proto, 8)
+            .push(src, 32)
+            .push(0x01020304, 32)
+            .build()
+            .data
+        )
+
+    def test_empty_config(self):
+        flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+        self._run_both(flay, self._ipv4_packet())
+
+    def test_deny_rule_drops_in_both(self):
+        flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+        flay.process_update(
+            Update(
+                "acl",
+                INSERT,
+                TableEntry(
+                    (TernaryMatch(0x0A000000, 0xFF000000), TernaryMatch(0, 0)),
+                    "deny",
+                    (),
+                    priority=5,
+                ),
+            )
+        )
+        result = self._run_both(flay, self._ipv4_packet(src=0x0A123456))
+        assert result.dropped
+
+    def test_wildcard_classify_inlined(self):
+        flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+        flay.process_update(
+            Update(
+                "acl",
+                INSERT,
+                TableEntry(
+                    (TernaryMatch(0, 0), TernaryMatch(0, 0)), "classify", (3,), priority=1
+                ),
+            )
+        )
+        # class == 3 always: the ttl-decrement branch becomes unconditional.
+        result = self._run_both(flay, self._ipv4_packet())
+        assert result.store["hdr.ipv4.ttl"] == 63
+
+    def test_forwarding_entry(self):
+        flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+        mac = 0x112233445566
+        flay.process_update(
+            Update("fwd_table", INSERT, TableEntry((ExactMatch(mac),), "fwd", (42,)))
+        )
+        result = self._run_both(flay, self._ipv4_packet(dst_mac=mac))
+        assert result.store["meta.port"] == 42
+
+    def test_non_ip_traffic(self):
+        flay = Flay.from_source(SOURCE, FlayOptions(target="none"))
+        from repro.targets.bmv2 import PacketBuilder
+
+        packet = PacketBuilder().push(0, 48).push(0, 48).push(0x86DD, 16).build()
+        self._run_both(flay, packet.data)

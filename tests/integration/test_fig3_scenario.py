@@ -1,0 +1,107 @@
+"""End-to-end reproduction of the paper's Fig. 3: one table's
+implementation evolving through control-plane updates 1-5."""
+
+import pytest
+
+from repro.core import Flay, FlayOptions
+from repro.p4 import ast_nodes as ast
+from repro.programs.fig3 import source
+from repro.runtime.entries import TableEntry, TernaryMatch
+from repro.runtime.semantics import DELETE, INSERT, Update
+
+FULL48 = (1 << 48) - 1
+
+
+def entry(value, mask, type_arg, priority):
+    return TableEntry((TernaryMatch(value, mask),), "set", (type_arg,), priority)
+
+
+@pytest.fixture()
+def flay():
+    return Flay.from_source(source(), FlayOptions(target="none"))
+
+
+def table_decl(flay):
+    control = flay.specialized_program.find("Fig3Ingress")
+    for local in control.locals:
+        if isinstance(local, ast.TableDecl) and local.name == "eth_table":
+            return local
+    return None
+
+
+class TestFig3:
+    def test_impl_a_empty_table_removed(self, flay):
+        """(1) Initial configuration: the empty table vanishes entirely."""
+        assert table_decl(flay) is None
+        assert "eth_table" not in flay.specialized_source()
+
+    def test_impl_between_a_and_b_inline(self, flay):
+        """(2) Entry with mask 0: the action is inlined as a constant
+        assignment and the table lookup disappears."""
+        decision = flay.process_update(
+            Update("eth_table", INSERT, entry(0x1, 0x0, 0x800, 10))
+        )
+        assert decision.recompiled
+        text = flay.specialized_source()
+        assert table_decl(flay) is None
+        assert "hdr.eth.type = 16w0x800;" in text
+
+    def test_impl_b_exact_match(self, flay):
+        """(3) Replace with a full-mask entry: the table comes back as an
+        exact-match table (TCAM freed), with the unused drop action gone."""
+        flay.process_update(Update("eth_table", INSERT, entry(0x1, 0x0, 0x800, 10)))
+        flay.process_update(Update("eth_table", DELETE, entry(0x1, 0x0, 0x800, 10)))
+        decision = flay.process_update(
+            Update("eth_table", INSERT, entry(0x2, FULL48, 0x900, 10))
+        )
+        assert decision.recompiled
+        table = table_decl(flay)
+        assert table is not None
+        assert table.keys[0].match_kind == "exact"
+        action_names = [a.name for a in table.actions]
+        assert "drop" not in action_names
+
+    def test_impl_c_ternary(self, flay):
+        """(4) Insert a partial-mask entry: back to a ternary table."""
+        flay.process_update(Update("eth_table", INSERT, entry(0x2, FULL48, 0x900, 10)))
+        decision = flay.process_update(
+            Update("eth_table", INSERT, entry(0x5, 0x8, 0x700, 9))
+        )
+        assert decision.recompiled
+        table = table_decl(flay)
+        assert table.keys[0].match_kind == "ternary"
+        assert "drop" not in [a.name for a in table.actions]
+
+    def test_impl_d_no_recompilation(self, flay):
+        """(5) Entry 3 changes nothing about the implementation: the update
+        is forwarded without recompiling — the paper's headline moment."""
+        flay.process_update(Update("eth_table", INSERT, entry(0x2, FULL48, 0x900, 10)))
+        flay.process_update(Update("eth_table", INSERT, entry(0x5, 0x8, 0x700, 9)))
+        recompiles_before = flay.runtime.recompilations
+        decision = flay.process_update(
+            Update("eth_table", INSERT, entry(0x6, 0x7, 0x200, 8))
+        )
+        assert decision.forwarded
+        assert not decision.recompiled
+        assert flay.runtime.recompilations == recompiles_before
+
+    def test_full_sequence_counters(self, flay):
+        """Across the whole Fig. 3 sequence: 4 implementation changes,
+        1 forwarded update."""
+        steps = [
+            Update("eth_table", INSERT, entry(0x1, 0x0, 0x800, 10)),
+            Update("eth_table", DELETE, entry(0x1, 0x0, 0x800, 10)),
+            Update("eth_table", INSERT, entry(0x2, FULL48, 0x900, 10)),
+            Update("eth_table", INSERT, entry(0x5, 0x8, 0x700, 9)),
+            Update("eth_table", INSERT, entry(0x6, 0x7, 0x200, 8)),
+        ]
+        decisions = [flay.process_update(s) for s in steps]
+        assert [d.recompiled for d in decisions] == [True, True, True, True, False]
+
+    def test_update_analysis_is_fast(self, flay):
+        """Each decision lands well inside the paper's ~100 ms budget."""
+        flay.process_update(Update("eth_table", INSERT, entry(0x2, FULL48, 0x900, 10)))
+        decision = flay.process_update(
+            Update("eth_table", INSERT, entry(0x6, 0x7, 0x200, 8))
+        )
+        assert decision.elapsed_ms < 100

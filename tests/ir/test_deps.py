@@ -1,0 +1,154 @@
+"""Tests for the table dependency graph."""
+
+from repro.ir import (
+    ACTION_DEP,
+    CONTROL_DEP,
+    MATCH_DEP,
+    build_dependency_graph,
+)
+from repro.ir.deps import STICKY_FIELDS
+from repro.p4.parser import parse_program
+
+
+def _program(locals_: str, body: str) -> str:
+    return f"""
+header h_t {{ bit<8> f; bit<8> g; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ bit<8> a; bit<8> b; }}
+parser P(inout headers_t hdr, inout meta_t meta) {{
+    state start {{ transition accept; }}
+}}
+control C(inout headers_t hdr, inout meta_t meta) {{
+{locals_}
+    apply {{ {body} }}
+}}
+Pipeline(P(), C()) main;
+"""
+
+
+TWO_TABLES = """
+    action set_a(bit<8> v) { meta.a = v; }
+    action read_a_set_b() { meta.b = meta.a; }
+    action noop() { }
+    table t1 {
+        key = { hdr.h.f: exact; }
+        actions = { set_a; noop; }
+        default_action = noop();
+    }
+    table t2 {
+        key = { meta.a: exact; }
+        actions = { read_a_set_b; noop; }
+        default_action = noop();
+    }
+    table t3 {
+        key = { hdr.h.g: exact; }
+        actions = { set_a; noop; }
+        default_action = noop();
+    }
+"""
+
+
+class TestEdges:
+    def test_match_dependency(self):
+        graph = build_dependency_graph(
+            parse_program(_program(TWO_TABLES, "t1.apply(); t2.apply();"))
+        )
+        kinds = {(e.src, e.dst): e.kind for e in graph.edges}
+        assert kinds[("C.t1", "C.t2")] == MATCH_DEP
+
+    def test_action_dependency(self):
+        graph = build_dependency_graph(
+            parse_program(_program(TWO_TABLES, "t1.apply(); t3.apply();"))
+        )
+        kinds = {(e.src, e.dst): e.kind for e in graph.edges}
+        assert kinds[("C.t1", "C.t3")] == ACTION_DEP
+
+    def test_independent_tables_no_edge(self):
+        graph = build_dependency_graph(
+            parse_program(_program(TWO_TABLES, "t2.apply(); t3.apply();"))
+        )
+        pairs = {(e.src, e.dst) for e in graph.edges}
+        # t2 writes meta.b, t3 matches hdr.h.g and writes meta.a — no overlap.
+        assert ("C.t2", "C.t3") not in pairs
+
+    def test_gateway_control_dependency(self):
+        graph = build_dependency_graph(
+            parse_program(
+                _program(TWO_TABLES, "if (meta.a == 0) { t2.apply(); }")
+            )
+        )
+        gateway_edges = [e for e in graph.edges if e.kind == CONTROL_DEP]
+        assert any(e.dst == "C.t2" for e in gateway_edges)
+
+    def test_exclusive_branches_have_no_action_dep(self):
+        body = """
+        if (meta.b == 0) { t1.apply(); } else { t3.apply(); }
+        """
+        graph = build_dependency_graph(parse_program(_program(TWO_TABLES, body)))
+        pairs = {(e.src, e.dst): e.kind for e in graph.edges}
+        # Both write meta.a, but they are mutually exclusive.
+        assert ("C.t1", "C.t3") not in pairs
+
+    def test_sequential_branches_do_conflict(self):
+        body = """
+        if (meta.b == 0) { t1.apply(); }
+        if (meta.b == 1) { t3.apply(); }
+        """
+        graph = build_dependency_graph(parse_program(_program(TWO_TABLES, body)))
+        pairs = {(e.src, e.dst): e.kind for e in graph.edges}
+        # Separate ifs: not provably exclusive, conservative edge stays.
+        assert pairs.get(("C.t1", "C.t3")) == ACTION_DEP
+
+    def test_sticky_drop_creates_no_action_dep(self):
+        locals_ = """
+    action d1() { mark_to_drop(); }
+    action d2() { mark_to_drop(); }
+    action noop() { }
+    table ta {
+        key = { hdr.h.f: exact; }
+        actions = { d1; noop; }
+        default_action = noop();
+    }
+    table tb {
+        key = { hdr.h.g: exact; }
+        actions = { d2; noop; }
+        default_action = noop();
+    }
+"""
+        graph = build_dependency_graph(
+            parse_program(_program(locals_, "ta.apply(); tb.apply();"))
+        )
+        pairs = {(e.src, e.dst) for e in graph.edges}
+        assert ("C.ta", "C.tb") not in pairs
+        assert "std.drop" in STICKY_FIELDS
+
+    def test_apply_hit_table_is_gateway(self):
+        body = "if (t1.apply().hit) { t2.apply(); }"
+        graph = build_dependency_graph(parse_program(_program(TWO_TABLES, body)))
+        # t1 guards t2: control dep from the table itself, no synthetic gw.
+        kinds = {(e.src, e.dst): e.kind for e in graph.edges}
+        assert ("C.t1", "C.t2") in kinds
+
+
+class TestNodeMetadata:
+    def test_key_bits_by_kind(self):
+        locals_ = """
+    action noop() { }
+    table t {
+        key = { hdr.h.f: exact; meta.a: ternary; hdr.h.g: lpm; }
+        actions = { noop; }
+        default_action = noop();
+    }
+"""
+        graph = build_dependency_graph(parse_program(_program(locals_, "t.apply();")))
+        node = graph.nodes["C.t"]
+        assert node.exact_key_bits == 8
+        assert node.ternary_key_bits == 8
+        assert node.lpm_key_bits == 8
+        assert node.key_bits == 24
+
+    def test_longest_chain(self):
+        graph = build_dependency_graph(
+            parse_program(_program(TWO_TABLES, "t1.apply(); t2.apply();"))
+        )
+        assert graph.longest_chain() >= 2

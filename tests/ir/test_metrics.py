@@ -1,0 +1,106 @@
+"""Tests for program metrics."""
+
+from repro.ir import measure
+from repro.p4.parser import parse_program
+from repro.programs import registry
+
+
+def _program(body: str, locals_: str = "") -> str:
+    return f"""
+header h_t {{ bit<8> f; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ bit<8> m; }}
+parser P(inout headers_t hdr, inout meta_t meta) {{
+    state start {{ transition accept; }}
+}}
+control C(inout headers_t hdr, inout meta_t meta) {{
+{locals_}
+    apply {{ {body} }}
+}}
+Pipeline(P(), C()) main;
+"""
+
+
+class TestCounts:
+    def test_empty_program(self):
+        metrics = measure(parse_program(_program("")))
+        assert metrics.statements == 0
+        assert metrics.tables == 0
+        assert metrics.parser_states == 1
+
+    def test_statements_counted(self):
+        metrics = measure(parse_program(_program("meta.m = 1; meta.m = 2;")))
+        assert metrics.statements == 2
+
+    def test_if_counts_as_statement_and_decision(self):
+        metrics = measure(
+            parse_program(_program("if (meta.m == 0) { meta.m = 1; }"))
+        )
+        assert metrics.if_statements == 1
+        assert metrics.mccabe == 2
+        assert metrics.statements == 2  # the if + the assignment
+
+    def test_table_counts(self):
+        locals_ = """
+    action a(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: exact; }
+        actions = { a; noop; }
+        default_action = noop();
+    }
+"""
+        metrics = measure(parse_program(_program("t.apply();", locals_)))
+        assert metrics.tables == 1
+        assert metrics.actions == 2
+        assert metrics.keys == 1
+
+    def test_register_counted(self):
+        locals_ = "    register<bit<32>>(16) reg;"
+        metrics = measure(parse_program(_program("", locals_)))
+        assert metrics.registers == 1
+
+    def test_paths_multiply_across_ifs(self):
+        one = measure(parse_program(_program("if (meta.m == 0) { meta.m = 1; }")))
+        two = measure(
+            parse_program(
+                _program(
+                    "if (meta.m == 0) { meta.m = 1; }"
+                    "if (meta.m == 1) { meta.m = 2; }"
+                )
+            )
+        )
+        assert two.control_paths == one.control_paths * 2
+
+    def test_table_multiplies_paths_by_actions(self):
+        locals_ = """
+    action a(bit<8> v) { meta.m = v; }
+    action b() { }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: exact; }
+        actions = { a; b; noop; }
+        default_action = noop();
+    }
+"""
+        metrics = measure(parse_program(_program("t.apply();", locals_)))
+        assert metrics.control_paths >= 3
+
+
+class TestCorpusShape:
+    def test_statement_counts_track_paper_table2(self):
+        """Our corpus programs land within 5% of the paper's statement
+        counts and preserve the ordering switch > scion > dash > middleblock."""
+        counts = {}
+        for name in registry.TABLE2_PROGRAMS:
+            entry = registry.get(name)
+            counts[name] = measure(entry.parse()).statements
+            assert (
+                abs(counts[name] - entry.paper_statements)
+                <= 0.05 * entry.paper_statements
+            ), f"{name}: {counts[name]} vs paper {entry.paper_statements}"
+        assert counts["switch"] > counts["scion"] > counts["dash"] > counts["middleblock"]
+
+    def test_sketches_are_small(self):
+        for name in ("beaucoup", "accturbo", "dta"):
+            assert measure(registry.load(name)).statements < 100

@@ -1,0 +1,75 @@
+"""Tests for the P4 tokenizer."""
+
+import pytest
+
+from repro.p4.errors import LexError
+from repro.p4.lexer import EOF, IDENT, INT, PUNCT, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != EOF]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords_share_kind(self):
+        tokens = kinds("table foo_bar2")
+        assert tokens == [(IDENT, "table"), (IDENT, "foo_bar2")]
+
+    def test_punctuation_maximal_munch(self):
+        tokens = [t.text for t in tokenize("a<<b >= c != d &&& e && f ++ g") if t.kind == PUNCT]
+        assert tokens == ["<<", ">=", "!=", "&&&", "&&", "++"]
+
+    def test_decimal_literal(self):
+        token = tokenize("1234")[0]
+        assert token.kind == INT and token.value == 1234 and token.width is None
+
+    def test_hex_literal(self):
+        token = tokenize("0xDEAD")[0]
+        assert token.value == 0xDEAD
+
+    def test_binary_literal(self):
+        token = tokenize("0b1010")[0]
+        assert token.value == 10
+
+    def test_width_prefixed_literal(self):
+        token = tokenize("8w0xFF")[0]
+        assert token.value == 255 and token.width == 8
+
+    def test_width_prefixed_decimal(self):
+        token = tokenize("9w256")[0]
+        assert token.value == 256 and token.width == 9
+
+    def test_underscored_literal(self):
+        token = tokenize("1_000")[0]
+        assert token.value == 1000
+
+    def test_malformed_width_literal(self):
+        with pytest.raises(LexError):
+            tokenize("8wxyz")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds("#include <core.p4>\nheader") == [(IDENT, "header")]
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].pos.line == 1 and tokens[0].pos.column == 1
+        assert tokens[1].pos.line == 2 and tokens[1].pos.column == 3
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == EOF

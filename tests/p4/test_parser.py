@@ -1,0 +1,272 @@
+"""Tests for the recursive-descent P4 parser."""
+
+import pytest
+
+from repro.p4 import ast_nodes as ast
+from repro.p4.errors import ParseError
+from repro.p4.parser import parse_expr, parse_program
+
+MINIMAL = """
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    apply { }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+class TestDeclarations:
+    def test_minimal_program(self):
+        program = parse_program(MINIMAL)
+        assert program.pipeline.parser == "P"
+        assert program.pipeline.controls == ("C",)
+        assert [h.name for h in program.headers()] == ["h_t"]
+
+    def test_typedef_and_const(self):
+        program = parse_program(
+            "typedef bit<48> mac_t;\nconst bit<16> ETH_IPV4 = 0x800;\n" + MINIMAL
+        )
+        td = program.find("mac_t")
+        assert isinstance(td, ast.TypedefDecl)
+        assert td.type == ast.BitType(48)
+        cd = program.find("ETH_IPV4")
+        assert isinstance(cd, ast.ConstDecl)
+
+    def test_annotations_skipped(self):
+        source = MINIMAL.replace("header h_t", '@name("h") header h_t')
+        parse_program(source)
+
+    def test_missing_apply_rejected(self):
+        bad = MINIMAL.replace("apply { }", "")
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+    def test_top_level_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("42;")
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("Pipeline() main;")
+
+    def test_nested_angle_brackets_in_register(self):
+        source = MINIMAL.replace(
+            "apply { }",
+            "apply { }",
+        ).replace(
+            "control C(inout headers_t hdr, inout meta_t meta) {",
+            "control C(inout headers_t hdr, inout meta_t meta) {\n"
+            "    register<bit<32>>(1024) counts;",
+        )
+        program = parse_program(source)
+        control = program.find("C")
+        regs = [l for l in control.locals if isinstance(l, ast.InstantiationDecl)]
+        assert regs and regs[0].kind == "register"
+        assert regs[0].type_args == (ast.BitType(32),)
+
+
+class TestTables:
+    SOURCE = """
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: ternary; meta.m: exact; }
+        actions = { set; noop; }
+        default_action = set(8w3);
+        size = 128;
+    }
+    apply { t.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+    def test_table_properties(self):
+        program = parse_program(self.SOURCE)
+        control = program.find("C")
+        table = next(l for l in control.locals if isinstance(l, ast.TableDecl))
+        assert [k.match_kind for k in table.keys] == ["ternary", "exact"]
+        assert [a.name for a in table.actions] == ["set", "noop"]
+        assert table.default_action.name == "set"
+        assert len(table.default_action.args) == 1
+        assert table.size == 128
+
+    def test_unknown_match_kind_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(self.SOURCE.replace("ternary", "range"))
+
+    def test_unknown_table_property_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(self.SOURCE.replace("size = 128;", "implementation = x;"))
+
+
+class TestStatements:
+    def _control(self, body):
+        source = MINIMAL.replace("apply { }", f"apply {{ {body} }}")
+        program = parse_program(source)
+        return program.find("C").apply.statements
+
+    def test_assignment(self):
+        (stmt,) = self._control("meta.m = 8w1;")
+        assert isinstance(stmt, ast.AssignStmt)
+
+    def test_if_else_chain(self):
+        (stmt,) = self._control(
+            "if (meta.m == 0) { meta.m = 1; } else if (meta.m == 1) { meta.m = 2; }"
+        )
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.orelse.statements[0], ast.IfStmt)
+
+    def test_exit_and_return(self):
+        stmts = self._control("exit; return;")
+        assert isinstance(stmts[0], ast.ExitStmt)
+        assert isinstance(stmts[1], ast.ReturnStmt)
+
+    def test_local_variable(self):
+        (stmt,) = self._control("bit<16> tmp = 16w9;")
+        assert isinstance(stmt, ast.VarDeclStmt)
+        assert stmt.type == ast.BitType(16)
+
+    def test_method_call_statement(self):
+        (stmt,) = self._control("mark_to_drop();")
+        assert isinstance(stmt, ast.MethodCallStmt)
+
+    def test_non_call_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            self._control("meta.m;")
+
+    def test_switch_statement(self):
+        source = TestTables.SOURCE.replace(
+            "apply { t.apply(); }",
+            """apply {
+                switch (t.apply().action_run) {
+                    set: { meta.m = 1; }
+                    default: { meta.m = 2; }
+                }
+            }""",
+        )
+        program = parse_program(source)
+        (stmt,) = program.find("C").apply.statements
+        assert isinstance(stmt, ast.SwitchStmt)
+        assert stmt.table == "t"
+        assert [case.action for case in stmt.cases] == ["set", None]
+
+    def test_switch_requires_action_run(self):
+        source = TestTables.SOURCE.replace(
+            "apply { t.apply(); }",
+            "apply { switch (t.apply().hit_run) { default: { } } }",
+        )
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+
+class TestParserDecls:
+    SOURCE = """
+header h_t { bit<8> f; bit<16> t; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    value_set<bit<16>>(4) pvs;
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.t, hdr.h.f) {
+            (0x800, 4): next;
+            (0x86DD &&& 0xFF00, default): next;
+            (pvs, default): next;
+            default: reject;
+        }
+    }
+    state next { transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+Pipeline(P(), C()) main;
+"""
+
+    def test_select_cases(self):
+        program = parse_program(self.SOURCE)
+        parser = program.find("P")
+        start = parser.states[0]
+        select = start.transition
+        assert isinstance(select, ast.TransitionSelect)
+        assert len(select.exprs) == 2
+        assert len(select.cases) == 4
+        masked = select.cases[1].keys[0]
+        assert masked.mask is not None
+        pvs_case = select.cases[2].keys[0]
+        assert pvs_case.value_set_name == "pvs"
+        assert select.cases[3].keys[0].is_default
+
+    def test_value_set_declared(self):
+        program = parse_program(self.SOURCE)
+        parser = program.find("P")
+        (pvs,) = parser.locals
+        assert isinstance(pvs, ast.ValueSetDecl)
+        assert pvs.size == 4
+
+    def test_arity_mismatch_rejected(self):
+        bad = self.SOURCE.replace("(0x800, 4): next;", "0x800: next;")
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        expr = parse_expr("a == b && c == d")
+        assert expr.op == "&&"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_ternary(self):
+        expr = parse_expr("a == 0 ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_cast(self):
+        expr = parse_expr("(bit<16>) x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type == ast.BitType(16)
+
+    def test_slice(self):
+        expr = parse_expr("x[7:4]")
+        assert isinstance(expr, ast.Slice)
+        assert expr.hi == 7 and expr.lo == 4
+
+    def test_member_chain(self):
+        expr = parse_expr("hdr.ipv4.ttl")
+        assert isinstance(expr, ast.Member)
+        assert expr.name == "ttl"
+
+    def test_method_call_on_member(self):
+        expr = parse_expr("hdr.ipv4.isValid()")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "isValid"
+
+    def test_concat(self):
+        expr = parse_expr("a ++ b")
+        assert expr.op == "++"
+
+    def test_unary(self):
+        expr = parse_expr("~x & -y")
+        assert expr.op == "&"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b extra")

@@ -1,0 +1,39 @@
+"""Round-trip tests for the pretty-printer."""
+
+import pytest
+
+from repro.p4.parser import parse_expr, parse_program
+from repro.p4.printer import print_expr, print_program
+from repro.programs import registry
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(registry.CORPUS))
+    def test_corpus_round_trips(self, name):
+        """print(parse(print(parse(src)))) is a fixed point for every
+        corpus program."""
+        program = registry.load(name)
+        text1 = print_program(program)
+        program2 = parse_program(text1)
+        text2 = print_program(program2)
+        assert text1 == text2
+
+    def test_expr_precedence_preserved(self):
+        for source in (
+            "a + b * c",
+            "(a + b) * c",
+            "a << 2 | b",
+            "(a | b) & c",
+            "a == 0 ? b : c + 1",
+            "~x & y",
+            "x[7:4] ++ y[3:0]",
+        ):
+            expr = parse_expr(source)
+            reprinted = parse_expr(print_expr(expr))
+            assert print_expr(reprinted) == print_expr(expr)
+
+    def test_width_literals_preserved(self):
+        expr = parse_expr("8w0xff + 8w1")
+        text = print_expr(expr)
+        assert "8w" in text
+        assert print_expr(parse_expr(text)) == text

@@ -1,0 +1,145 @@
+"""Tests for the type environment and expression typing."""
+
+import pytest
+
+from repro.p4 import ast_nodes as ast
+from repro.p4.errors import TypeCheckError
+from repro.p4.parser import parse_expr, parse_program
+from repro.p4.types import (
+    TypeEnv,
+    bit_width,
+    eval_const_expr,
+    lvalue_path,
+    scope_for_params,
+    type_of,
+)
+
+SOURCE = """
+typedef bit<48> mac_t;
+typedef mac_t mac_alias_t;
+const bit<16> TYPE_IPV4 = 0x800;
+const bit<16> DOUBLED = TYPE_IPV4 + TYPE_IPV4;
+header eth_t { mac_t dst; mac_t src; bit<16> type; }
+header ipv4_t { bit<8> ttl; bit<32> dst; }
+struct headers_t { eth_t eth; ipv4_t ipv4; }
+struct meta_t { bit<9> port; bool flag; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+Pipeline(P(), C()) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TypeEnv(parse_program(SOURCE))
+
+
+@pytest.fixture(scope="module")
+def scope(env):
+    control = env.program.find("C")
+    return scope_for_params(env, control.params)
+
+
+class TestResolution:
+    def test_typedef_chain(self, env):
+        assert env.resolve(ast.NamedType("mac_alias_t")) == ast.BitType(48)
+
+    def test_unknown_type(self, env):
+        with pytest.raises(TypeCheckError):
+            env.resolve(ast.NamedType("nope_t"))
+
+    def test_width_of(self, env):
+        assert env.width_of(ast.NamedType("mac_t")) == 48
+        assert env.width_of(ast.BoolType()) == 1
+
+    def test_struct_has_no_width(self, env):
+        with pytest.raises(TypeCheckError):
+            env.width_of(ast.NamedType("headers_t"))
+
+    def test_kind_predicates(self, env):
+        assert env.is_header_type(ast.NamedType("eth_t"))
+        assert env.is_struct_type(ast.NamedType("headers_t"))
+        assert not env.is_header_type(ast.NamedType("headers_t"))
+
+    def test_constants_evaluated(self, env):
+        assert env.constants["TYPE_IPV4"] == 0x800
+        assert env.constants["DOUBLED"] == 0x1000
+
+    def test_member_type(self, env):
+        assert env.member_type(ast.NamedType("eth_t"), "type") == ast.BitType(16)
+        with pytest.raises(TypeCheckError):
+            env.member_type(ast.NamedType("eth_t"), "bogus")
+
+
+class TestFlatten:
+    def test_flatten_headers(self, env):
+        fields = list(env.flatten("hdr", ast.NamedType("headers_t")))
+        paths = {f.path: f.width for f in fields}
+        assert paths["hdr.eth.dst"] == 48
+        assert paths["hdr.ipv4.ttl"] == 8
+        owners = {f.path: f.header for f in fields}
+        assert owners["hdr.eth.dst"] == "hdr.eth"
+
+    def test_flatten_metadata_has_no_header_owner(self, env):
+        fields = list(env.flatten("meta", ast.NamedType("meta_t")))
+        assert all(f.header is None for f in fields)
+
+    def test_header_instances(self, env):
+        instances = dict(env.header_instances("hdr", ast.NamedType("headers_t")))
+        assert instances == {"hdr.eth": "eth_t", "hdr.ipv4": "ipv4_t"}
+
+
+class TestTyping:
+    def test_member_expression(self, scope):
+        t = type_of(parse_expr("hdr.eth.type"), scope)
+        assert t == ast.BitType(16)
+
+    def test_comparison_is_bool(self, scope):
+        assert type_of(parse_expr("hdr.ipv4.ttl == 0"), scope) == ast.BoolType()
+
+    def test_concat_width(self, scope):
+        assert bit_width(parse_expr("hdr.eth.type ++ hdr.ipv4.ttl"), scope) == 24
+
+    def test_unsized_literal_needs_context(self, scope):
+        with pytest.raises(TypeCheckError):
+            bit_width(parse_expr("42"), scope)
+        assert bit_width(parse_expr("42"), scope, context_width=16) == 16
+
+    def test_binary_width_from_sized_side(self, scope):
+        assert bit_width(parse_expr("hdr.ipv4.ttl + 1"), scope) == 8
+
+    def test_isvalid_is_bool(self, scope):
+        assert type_of(parse_expr("hdr.eth.isValid()"), scope) == ast.BoolType()
+
+    def test_unknown_name(self, scope):
+        with pytest.raises(TypeCheckError):
+            type_of(parse_expr("mystery"), scope)
+
+
+class TestLvaluePaths:
+    def test_simple(self):
+        assert lvalue_path(parse_expr("hdr.eth.dst")) == "hdr.eth.dst"
+
+    def test_bare_name(self):
+        assert lvalue_path(parse_expr("local")) == "local"
+
+    def test_non_lvalue(self):
+        with pytest.raises(TypeCheckError):
+            lvalue_path(parse_expr("a + b"))
+
+
+class TestConstEval:
+    def test_arith(self, env):
+        assert eval_const_expr(parse_expr("1 + 2 * 3"), env) == 7
+
+    def test_named_constant(self, env):
+        assert eval_const_expr(parse_expr("TYPE_IPV4"), env) == 0x800
+
+    def test_bitwise(self, env):
+        assert eval_const_expr(parse_expr("0xF0 | 0x0F"), env) == 0xFF
+        assert eval_const_expr(parse_expr("1 << 4"), env) == 16
+
+    def test_non_constant_returns_none(self, env):
+        assert eval_const_expr(parse_expr("some_var"), env) is None

@@ -1,0 +1,64 @@
+"""Tests over the full evaluation corpus."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.ir import measure
+from repro.p4.parser import parse_program
+from repro.p4.types import TypeEnv
+from repro.programs import registry
+from repro.targets.tofino import allocate
+
+
+@pytest.mark.parametrize("name", sorted(registry.CORPUS))
+class TestEveryProgram:
+    def test_parses(self, name):
+        program = registry.load(name)
+        assert program.pipeline.parser
+
+    def test_types_resolve(self, name):
+        program = registry.load(name)
+        env = TypeEnv(program)
+        for decl in program.parsers() + program.controls():
+            for param in decl.params:
+                env.resolve(param.type)
+
+    def test_analyzes(self, name):
+        entry = registry.get(name)
+        model = analyze(entry.parse(), skip_parser=entry.skip_parser)
+        assert model.point_count > 0
+
+    def test_allocates(self, name):
+        report = allocate(registry.load(name))
+        assert report.stages_used >= 1
+
+
+class TestTableShapes:
+    def test_scion_has_parallel_v4_v6_paths(self):
+        program = registry.load("scion")
+        text = registry.get("scion").source()
+        assert "ipv4_forward" in text and "ipv6_forward" in text
+        assert "acl_v4" in text and "acl_v6" in text
+
+    def test_middleblock_acl_is_wide(self):
+        """Table 3 depends on the pre-ingress ACL having many ternary keys."""
+        from repro.programs.middleblock import PRE_INGRESS_ACL
+
+        model = analyze(registry.load("middleblock"))
+        info = model.tables[PRE_INGRESS_ACL]
+        assert len(info.keys) >= 6
+        assert all(k.match_kind == "ternary" for k in info.keys)
+        assert sum(k.width for k in info.keys) > 150
+
+    def test_sketches_use_registers(self):
+        for name in ("beaucoup", "dta"):
+            assert measure(registry.load(name)).registers >= 1
+
+    def test_registry_lookups(self):
+        assert registry.get("scion").name == "scion"
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_table1_and_table2_program_sets(self):
+        assert set(registry.TABLE1_PROGRAMS) <= set(registry.CORPUS)
+        assert set(registry.TABLE2_PROGRAMS) <= set(registry.CORPUS)

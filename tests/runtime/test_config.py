@@ -1,0 +1,106 @@
+"""Tests for JSON control-plane configurations."""
+
+import pytest
+
+from repro.runtime import config as config_mod
+from repro.runtime.config import ConfigError, Configuration, parse_int
+from repro.runtime.entries import ExactMatch, LpmMatch, TernaryMatch
+from repro.runtime.semantics import ValueSetUpdate
+
+
+class TestParseInt:
+    def test_plain_int(self):
+        assert parse_int(42) == 42
+
+    def test_hex_string(self):
+        assert parse_int("0xFF") == 255
+
+    def test_decimal_string(self):
+        assert parse_int("100") == 100
+
+    def test_dotted_quad(self):
+        assert parse_int("10.0.0.1") == 0x0A000001
+
+    def test_bad_quad(self):
+        with pytest.raises(ConfigError):
+            parse_int("10.0.0.999")
+
+    def test_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_int("abc")
+        with pytest.raises(ConfigError):
+            parse_int(True)
+
+
+class TestLoads:
+    def test_full_config(self):
+        config = config_mod.loads(
+            """
+            {
+              "tables": {
+                "C.acl": [
+                  {"match": [{"ternary": ["0x0A000000", "0xFF000000"]}],
+                   "action": "deny", "args": [], "priority": 10},
+                  {"match": [{"exact": "10.0.0.1"}],
+                   "action": "permit", "args": ["3"]}
+                ],
+                "C.routes": [
+                  {"match": [{"lpm": ["10.0.0.0", 8]}], "action": "fwd", "args": [1]}
+                ]
+              },
+              "value_sets": {"P.pvs": ["0x800"]}
+            }
+            """
+        )
+        assert config.entry_count == 3
+        acl = config.table_entries["C.acl"]
+        assert isinstance(acl[0].matches[0], TernaryMatch)
+        assert acl[0].priority == 10
+        assert isinstance(acl[1].matches[0], ExactMatch)
+        assert acl[1].matches[0].value == 0x0A000001
+        route = config.table_entries["C.routes"][0]
+        assert isinstance(route.matches[0], LpmMatch)
+        assert route.matches[0].prefix_len == 8
+        assert config.value_sets["P.pvs"] == (0x800,)
+
+    def test_updates_flatten(self):
+        config = config_mod.loads(
+            '{"tables": {"t": [{"match": [{"exact": 1}], "action": "a"}]},'
+            ' "value_sets": {"v": [2]}}'
+        )
+        updates = config.updates()
+        assert len(updates) == 2
+        assert isinstance(updates[1], ValueSetUpdate)
+
+    def test_bad_json(self):
+        with pytest.raises(ConfigError):
+            config_mod.loads("{not json")
+
+    def test_unknown_section(self):
+        with pytest.raises(ConfigError):
+            config_mod.loads('{"meters": {}}')
+
+    def test_missing_action(self):
+        with pytest.raises(ConfigError):
+            config_mod.loads('{"tables": {"t": [{"match": []}]}}')
+
+    def test_bad_match_shape(self):
+        with pytest.raises(ConfigError):
+            config_mod.loads(
+                '{"tables": {"t": [{"match": [{"ternary": [1]}], "action": "a"}]}}'
+            )
+        with pytest.raises(ConfigError):
+            config_mod.loads(
+                '{"tables": {"t": [{"match": [{"range": [1, 2]}], "action": "a"}]}}'
+            )
+
+    def test_round_trip(self):
+        text = (
+            '{"tables": {"t": [{"match": [{"exact": "0x2a"}, {"lpm": ["0x0a000000", 8]}],'
+            ' "action": "a", "args": ["0x7"], "priority": 3}]},'
+            ' "value_sets": {"v": ["0x800"]}}'
+        )
+        config = config_mod.loads(text)
+        again = config_mod.loads(config_mod.dumps(config))
+        assert again.table_entries == config.table_entries
+        assert again.value_sets == config.value_sets

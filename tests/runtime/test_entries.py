@@ -1,0 +1,179 @@
+"""Tests for table entries, match kinds, and coverage rules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.p4.parser import parse_program
+from repro.runtime.entries import (
+    EntryError,
+    ExactMatch,
+    LpmMatch,
+    TableEntry,
+    TernaryMatch,
+    as_value_mask,
+    match_covers,
+    match_hits,
+    validate_entry,
+)
+
+SOURCE = """
+header h_t { bit<8> f; bit<32> ip; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table exact_t {
+        key = { hdr.h.f: exact; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    table ternary_t {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    table lpm_t {
+        key = { hdr.h.ip: lpm; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    apply { exact_t.apply(); ternary_t.apply(); lpm_t.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def model():
+    return analyze(parse_program(SOURCE))
+
+
+class TestValidation:
+    def test_valid_exact(self, model):
+        info = model.table("exact_t")
+        validate_entry(info, TableEntry((ExactMatch(5),), "set", (1,)))
+
+    def test_wrong_match_count(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((), "set", (1,)))
+
+    def test_value_out_of_range(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((ExactMatch(256),), "set", (1,)))
+
+    def test_unknown_action(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((ExactMatch(1),), "bogus", ()))
+
+    def test_wrong_arg_count(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((ExactMatch(1),), "set", ()))
+
+    def test_arg_out_of_range(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((ExactMatch(1),), "set", (256,)))
+
+    def test_ternary_on_exact_key_rejected(self, model):
+        info = model.table("exact_t")
+        with pytest.raises(EntryError):
+            validate_entry(
+                info, TableEntry((TernaryMatch(1, 0xFF),), "set", (1,), priority=1)
+            )
+
+    def test_exact_allowed_on_ternary_key(self, model):
+        info = model.table("ternary_t")
+        validate_entry(info, TableEntry((ExactMatch(3),), "set", (1,)))
+
+    def test_lpm_prefix_bounds(self, model):
+        info = model.table("lpm_t")
+        validate_entry(info, TableEntry((LpmMatch(0x0A000000, 8),), "set", (1,)))
+        with pytest.raises(EntryError):
+            validate_entry(info, TableEntry((LpmMatch(0, 33),), "set", (1,)))
+
+
+class TestMatchSemantics:
+    def test_exact_hits(self):
+        assert match_hits(ExactMatch(5), 5, 8)
+        assert not match_hits(ExactMatch(5), 6, 8)
+
+    def test_ternary_mask(self):
+        match = TernaryMatch(0b1010_0000, 0b1111_0000)
+        assert match_hits(match, 0b1010_1111, 8)
+        assert not match_hits(match, 0b1011_0000, 8)
+
+    def test_wildcard_matches_everything(self):
+        match = TernaryMatch(0, 0)
+        for value in (0, 1, 255):
+            assert match_hits(match, value, 8)
+
+    def test_lpm_prefix(self):
+        match = LpmMatch(0x0A000000, 8)
+        assert match_hits(match, 0x0A123456, 32)
+        assert not match_hits(match, 0x0B000000, 32)
+
+    def test_zero_length_prefix_matches_all(self):
+        assert match_hits(LpmMatch(0, 0), 0xFFFFFFFF, 32)
+
+    def test_as_value_mask(self):
+        assert as_value_mask(ExactMatch(5), 8) == (5, 0xFF)
+        assert as_value_mask(TernaryMatch(5, 0x0F), 8) == (5, 0x0F)
+        assert as_value_mask(LpmMatch(0xA0, 4), 8) == (0xA0, 0xF0)
+
+
+class TestCoverage:
+    def test_exact_covers_itself(self):
+        assert match_covers(ExactMatch(5), ExactMatch(5), 8)
+        assert not match_covers(ExactMatch(5), ExactMatch(6), 8)
+
+    def test_wildcard_covers_exact(self):
+        assert match_covers(TernaryMatch(0, 0), ExactMatch(5), 8)
+
+    def test_exact_does_not_cover_wildcard(self):
+        assert not match_covers(ExactMatch(5), TernaryMatch(0, 0), 8)
+
+    def test_shorter_prefix_covers_longer(self):
+        short = LpmMatch(0x0A000000, 8)
+        long = LpmMatch(0x0A0B0000, 16)
+        assert match_covers(short, long, 32)
+        assert not match_covers(long, short, 32)
+
+    def test_disagreeing_prefixes_dont_cover(self):
+        a = LpmMatch(0x0A000000, 8)
+        b = LpmMatch(0x0B000000, 8)
+        assert not match_covers(a, b, 32)
+
+
+@given(
+    value=st.integers(0, 255),
+    mask=st.integers(0, 255),
+    key=st.integers(0, 255),
+)
+@settings(max_examples=300, deadline=None)
+def test_coverage_implies_matching(value, mask, key):
+    """If outer covers inner, any key inner matches, outer matches too."""
+    outer = TernaryMatch(value, mask)
+    inner = TernaryMatch(key, 0xFF)  # point match
+    if match_covers(outer, inner, 8) and match_hits(inner, key, 8):
+        assert match_hits(outer, key, 8)
+
+
+class TestEntryKeys:
+    def test_match_key_ignores_action(self):
+        a = TableEntry((ExactMatch(1),), "set", (1,))
+        b = TableEntry((ExactMatch(1),), "noop", ())
+        assert a.match_key() == b.match_key()
+
+    def test_priority_part_of_key(self):
+        a = TableEntry((TernaryMatch(1, 0xFF),), "set", (1,), priority=1)
+        b = TableEntry((TernaryMatch(1, 0xFF),), "set", (1,), priority=2)
+        assert a.match_key() != b.match_key()

@@ -1,0 +1,261 @@
+"""Tests for control-plane semantics: entry stores and the encoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.p4.parser import parse_program
+from repro.runtime.entries import (
+    EntryError,
+    ExactMatch,
+    LpmMatch,
+    TableEntry,
+    TernaryMatch,
+    match_hits,
+)
+from repro.runtime.semantics import (
+    DELETE,
+    INSERT,
+    MODIFY,
+    ControlPlaneState,
+    Update,
+    ValueSetUpdate,
+    encode_all,
+    encode_table,
+    encode_value_set,
+    entry_match_term,
+)
+from repro.smt import evaluate, simplify, substitute, terms as T
+
+SOURCE = """
+header h_t { bit<8> f; bit<32> ip; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table tern {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    table routes {
+        key = { hdr.h.ip: lpm; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    apply { tern.apply(); routes.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+@pytest.fixture()
+def model():
+    return analyze(parse_program(SOURCE))
+
+
+@pytest.fixture()
+def state(model):
+    return ControlPlaneState(model)
+
+
+def tern_entry(value, mask, action="set", args=(1,), priority=0):
+    return TableEntry((TernaryMatch(value, mask),), action, args, priority)
+
+
+class TestUpdateOps:
+    def test_insert_and_len(self, state):
+        state.apply_update(Update("tern", INSERT, tern_entry(1, 0xFF)))
+        assert len(state.table_state("tern")) == 1
+
+    def test_duplicate_insert_rejected(self, state):
+        entry = tern_entry(1, 0xFF)
+        state.apply_update(Update("tern", INSERT, entry))
+        with pytest.raises(EntryError):
+            state.apply_update(Update("tern", INSERT, entry))
+
+    def test_modify_replaces_action_data(self, state):
+        state.apply_update(Update("tern", INSERT, tern_entry(1, 0xFF, args=(1,))))
+        state.apply_update(Update("tern", MODIFY, tern_entry(1, 0xFF, args=(9,))))
+        (entry,) = state.table_state("tern").entries()
+        assert entry.args == (9,)
+
+    def test_modify_missing_rejected(self, state):
+        with pytest.raises(EntryError):
+            state.apply_update(Update("tern", MODIFY, tern_entry(1, 0xFF)))
+
+    def test_delete(self, state):
+        entry = tern_entry(1, 0xFF)
+        state.apply_update(Update("tern", INSERT, entry))
+        state.apply_update(Update("tern", DELETE, entry))
+        assert len(state.table_state("tern")) == 0
+
+    def test_delete_missing_rejected(self, state):
+        with pytest.raises(EntryError):
+            state.apply_update(Update("tern", DELETE, tern_entry(1, 0xFF)))
+
+    def test_update_counter(self, state):
+        state.apply_update(Update("tern", INSERT, tern_entry(1, 0xFF)))
+        assert state.update_count == 1
+
+
+class TestOrderingAndEclipse:
+    def test_ternary_priority_order(self, state):
+        low = tern_entry(0, 0, priority=1)
+        high = tern_entry(5, 0xFF, priority=10)
+        state.apply_update(Update("tern", INSERT, low))
+        state.apply_update(Update("tern", INSERT, high))
+        ordered = state.table_state("tern").ordered_entries()
+        assert ordered[0] is high
+
+    def test_lpm_longest_prefix_first(self, state):
+        short = TableEntry((LpmMatch(0x0A000000, 8),), "set", (1,))
+        long = TableEntry((LpmMatch(0x0A0B0000, 16),), "set", (2,))
+        state.apply_update(Update("routes", INSERT, short))
+        state.apply_update(Update("routes", INSERT, long))
+        ordered = state.table_state("routes").ordered_entries()
+        assert ordered[0] is long
+
+    def test_eclipsed_entry_elided(self, state):
+        wildcard = tern_entry(0, 0, priority=10)  # covers everything
+        point = tern_entry(5, 0xFF, priority=1)
+        state.apply_update(Update("tern", INSERT, wildcard))
+        state.apply_update(Update("tern", INSERT, point))
+        active = state.table_state("tern").active_entries()
+        assert active == [wildcard]
+
+    def test_non_eclipsed_entries_kept(self, state):
+        a = tern_entry(0xF0, 0xF0, priority=10)
+        b = tern_entry(0x05, 0xFF, priority=1)
+        state.apply_update(Update("tern", INSERT, a))
+        state.apply_update(Update("tern", INSERT, b))
+        assert len(state.table_state("tern").active_entries()) == 2
+
+
+class TestEncoding:
+    def test_empty_table_selects_default(self, model, state):
+        info = model.table("tern")
+        assignment = encode_table(info, state.table_state("tern"))
+        selector = assignment.mapping[info.selector_var]
+        assert selector is T.bv_const(info.action_codes["noop"], 8)
+        hit = assignment.mapping[info.hit_var]
+        assert hit is T.bv_const(0, 1)
+
+    def test_single_entry_encoding(self, model, state):
+        info = model.table("tern")
+        state.apply_update(Update("tern", INSERT, tern_entry(0x42, 0xFF, args=(7,))))
+        assignment = encode_table(info, state.table_state("tern"))
+        selector = assignment.mapping[info.selector_var]
+        key_name = info.keys[0].term.name
+        assert evaluate(selector, {key_name: 0x42}) == info.action_codes["set"]
+        assert evaluate(selector, {key_name: 0x43}) == info.action_codes["noop"]
+        param = assignment.mapping[info.action_params["set"][0].var]
+        assert evaluate(param, {key_name: 0x42}) == 7
+
+    def test_priority_respected_in_selector(self, model, state):
+        info = model.table("tern")
+        state.apply_update(
+            Update("tern", INSERT, tern_entry(0, 0, action="noop", args=(), priority=1))
+        )
+        state.apply_update(
+            Update("tern", INSERT, tern_entry(0x10, 0xFF, args=(2,), priority=10))
+        )
+        assignment = encode_table(info, state.table_state("tern"))
+        selector = assignment.mapping[info.selector_var]
+        key_name = info.keys[0].term.name
+        assert evaluate(selector, {key_name: 0x10}) == info.action_codes["set"]
+        assert evaluate(selector, {key_name: 0x11}) == info.action_codes["noop"]
+
+    def test_default_action_args_as_fallback(self):
+        source = SOURCE.replace("default_action = noop();", "default_action = set(8w9);", 1)
+        model = analyze(parse_program(source))
+        state = ControlPlaneState(model)
+        info = model.table("tern")
+        assignment = encode_table(info, state.table_state("tern"))
+        param = assignment.mapping[info.action_params["set"][0].var]
+        assert param is T.bv_const(9, 8)
+
+    def test_overapproximation_past_threshold(self, model, state):
+        info = model.table("tern")
+        for i in range(5):
+            state.apply_update(Update("tern", INSERT, tern_entry(i, 0xFF, priority=i + 1)))
+        assignment = encode_table(info, state.table_state("tern"), threshold=3)
+        assert assignment.overapproximated
+        selector = assignment.mapping[info.selector_var]
+        assert selector.is_data_var  # "*any*"
+
+    def test_threshold_none_never_overapproximates(self, model, state):
+        info = model.table("tern")
+        for i in range(10):
+            state.apply_update(Update("tern", INSERT, tern_entry(i, 0xFF, priority=i + 1)))
+        assignment = encode_table(info, state.table_state("tern"), threshold=None)
+        assert not assignment.overapproximated
+
+    def test_encode_all_covers_every_control_var(self, model, state):
+        mapping = encode_all(model, state)
+        for info in model.tables.values():
+            assert info.selector_var in mapping
+            assert info.hit_var in mapping
+
+
+class TestValueSets:
+    SOURCE = """
+header h_t { bit<16> tag; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    value_set<bit<16>>(2) pvs;
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.tag) {
+            pvs: special;
+            default: accept;
+        }
+    }
+    state special { transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) { apply { } }
+Pipeline(P(), C()) main;
+"""
+
+    def test_encode_value_set(self):
+        model = analyze(parse_program(self.SOURCE))
+        info = model.value_set("pvs")
+        mapping = encode_value_set(info, [0x800])
+        assert mapping[info.valid_vars[0]] is T.bv_const(1, 1)
+        assert mapping[info.value_vars[0]] is T.bv_const(0x800, 16)
+        assert mapping[info.valid_vars[1]] is T.bv_const(0, 1)
+
+    def test_oversize_config_rejected(self):
+        model = analyze(parse_program(self.SOURCE))
+        state = ControlPlaneState(model)
+        with pytest.raises(EntryError):
+            state.apply_value_set_update(ValueSetUpdate("pvs", (1, 2, 3)))
+
+
+# -- the key agreement property ------------------------------------------------
+
+
+_SHARED_MODEL = analyze(parse_program(SOURCE))
+
+
+@given(
+    value=st.integers(0, 255),
+    mask=st.integers(0, 255),
+    key=st.integers(0, 255),
+)
+@settings(max_examples=200, deadline=None)
+def test_match_term_agrees_with_match_hits(value, mask, key):
+    """The symbolic entry-match term and the concrete matcher agree —
+    this ties the incremental engine's world to the interpreter's."""
+    info = _SHARED_MODEL.table("tern")
+    entry = tern_entry(value, mask)
+    term = entry_match_term(info, entry)
+    key_name = info.keys[0].term.name
+    assert evaluate(term, {key_name: key}) == int(
+        match_hits(entry.matches[0], key, 8)
+    )

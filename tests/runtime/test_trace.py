@@ -1,0 +1,75 @@
+"""Tests for the synthetic input-change traces (Fig. 1 substrate)."""
+
+from repro.runtime.trace import (
+    DEFAULT_MEAN_INTERVALS,
+    PACKET_ARRIVAL,
+    POLICY_CHANGE,
+    ROUTE_CHANGE,
+    SOURCE_CHANGE,
+    control_plane_trace,
+    generate_events,
+    measure_classes,
+)
+
+
+class TestGeneration:
+    def test_events_sorted_within_duration(self):
+        events = list(
+            generate_events(ROUTE_CHANGE, 100.0, 5.0, seed=1)
+        )
+        assert events
+        assert all(0 <= e.time < 100.0 for e in events)
+
+    def test_bursts_share_burst_id(self):
+        events = list(
+            generate_events(ROUTE_CHANGE, 500.0, 50.0, burst_size=10, burst_spread=1.0, seed=2)
+        )
+        from collections import Counter
+
+        counts = Counter(e.burst_id for e in events)
+        assert max(counts.values()) > 1  # bursts fan out
+
+    def test_deterministic_by_seed(self):
+        a = list(generate_events(POLICY_CHANGE, 1000.0, 100.0, seed=3))
+        b = list(generate_events(POLICY_CHANGE, 1000.0, 100.0, seed=3))
+        assert a == b
+
+    def test_control_plane_trace_is_time_ordered(self):
+        events = control_plane_trace(duration=600.0, seed=1)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        kinds = {e.kind for e in events}
+        assert ROUTE_CHANGE in kinds
+
+
+class TestFig1Shape:
+    def test_rate_spread_matches_figure(self):
+        """The four input classes sit in the Fig. 1 order, spanning many
+        orders of magnitude from source changes (slow) to packets (fast)."""
+        stats = {s.kind: s for s in measure_classes(seed=4)}
+        assert set(stats) == {
+            SOURCE_CHANGE, POLICY_CHANGE, ROUTE_CHANGE, PACKET_ARRIVAL,
+        }
+        assert (
+            stats[SOURCE_CHANGE].rate_hz
+            < stats[POLICY_CHANGE].rate_hz
+            < stats[ROUTE_CHANGE].rate_hz
+            < stats[PACKET_ARRIVAL].rate_hz
+        )
+        # The endpoints are >= 12 orders of magnitude apart.
+        ratio = stats[PACKET_ARRIVAL].rate_hz / stats[SOURCE_CHANGE].rate_hz
+        assert ratio > 1e12
+
+    def test_routing_is_bursty(self):
+        stats = {s.kind: s for s in measure_classes(seed=5)}
+        # Coefficient of variation well above 1 indicates bursts.
+        assert stats[ROUTE_CHANGE].cv_interval > 1.5
+        assert stats[PACKET_ARRIVAL].cv_interval < 1.5
+
+    def test_default_intervals_ordered(self):
+        assert (
+            DEFAULT_MEAN_INTERVALS[SOURCE_CHANGE]
+            > DEFAULT_MEAN_INTERVALS[POLICY_CHANGE]
+            > DEFAULT_MEAN_INTERVALS[ROUTE_CHANGE]
+            > DEFAULT_MEAN_INTERVALS[PACKET_ARRIVAL]
+        )

@@ -1,0 +1,155 @@
+"""Tests for the bit-blaster: every operator's CNF encoding matches the
+evaluation semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.cnf import BitBlaster, assert_term, model_values
+from repro.smt.sat import SAT, UNSAT
+
+X = T.data_var("bb_x", 4)
+Y = T.data_var("bb_y", 4)
+
+
+def is_sat(term) -> bool:
+    blaster = BitBlaster()
+    assert_term(blaster, term)
+    return blaster.solver.solve() == SAT
+
+
+def solve_model(term):
+    blaster = BitBlaster()
+    assert_term(blaster, term)
+    assert blaster.solver.solve() == SAT
+    return model_values(blaster, term)
+
+
+class TestEncodings:
+    def test_eq_const_model(self):
+        model = solve_model(T.eq(X, T.bv_const(9, 4)))
+        assert model["bb_x"] == 9
+
+    def test_unsat_contradiction(self):
+        term = T.bool_and(
+            T.eq(X, T.bv_const(3, 4)), T.eq(X, T.bv_const(4, 4))
+        )
+        assert not is_sat(term)
+
+    def test_add_model(self):
+        term = T.bool_and(
+            T.eq(T.add(X, Y), T.bv_const(5, 4)),
+            T.eq(X, T.bv_const(12, 4)),
+        )
+        model = solve_model(term)
+        assert (model["bb_x"] + model["bb_y"]) % 16 == 5
+
+    def test_sub_neg(self):
+        term = T.eq(T.neg(X), T.bv_const(1, 4))
+        model = solve_model(term)
+        assert (-model["bb_x"]) % 16 == 1
+
+    def test_mul(self):
+        term = T.bool_and(
+            T.eq(T.mul(X, Y), T.bv_const(12, 4)),
+            T.eq(X, T.bv_const(3, 4)),
+        )
+        model = solve_model(term)
+        assert (model["bb_x"] * model["bb_y"]) % 16 == 12
+
+    def test_ult(self):
+        term = T.bool_and(T.ult(X, T.bv_const(2, 4)), T.ne(X, T.bv_const(0, 4)))
+        model = solve_model(term)
+        assert model["bb_x"] == 1
+
+    def test_ule_boundary(self):
+        assert is_sat(T.ule(X, T.bv_const(0, 4)))
+        assert not is_sat(T.ult(X, T.bv_const(0, 4)))
+
+    def test_variable_shift_barrel(self):
+        # x << y == 8 with x == 1 forces y == 3.
+        term = T.bool_and(
+            T.eq(T.shl(X, Y), T.bv_const(8, 4)),
+            T.eq(X, T.bv_const(1, 4)),
+        )
+        model = solve_model(term)
+        assert model["bb_y"] == 3
+
+    def test_overshift_forces_zero(self):
+        term = T.bool_and(
+            T.eq(T.shl(X, Y), T.bv_const(0, 4)),
+            T.eq(X, T.bv_const(0xF, 4)),
+            T.eq(Y, T.bv_const(4, 4)),
+        )
+        assert is_sat(term)
+
+    def test_concat_extract(self):
+        wide = T.concat(X, Y)
+        term = T.bool_and(
+            T.eq(wide, T.bv_const(0xA5, 8)),
+        )
+        model = solve_model(term)
+        assert model["bb_x"] == 0xA and model["bb_y"] == 0x5
+
+    def test_ite_encoding(self):
+        cond = T.eq(X, T.bv_const(1, 4))
+        term = T.bool_and(
+            T.eq(T.ite(cond, T.bv_const(7, 4), T.bv_const(2, 4)), T.bv_const(7, 4)),
+        )
+        model = solve_model(term)
+        assert model["bb_x"] == 1
+
+    def test_bool_var_encoding(self):
+        p = T.bool_var("bb_p")
+        assert is_sat(p)
+        assert not is_sat(T.bool_and(p, T.bool_not(p)))
+
+    def test_shared_encoding_consistent(self):
+        # Encoding x twice must refer to the same SAT variables.
+        blaster = BitBlaster()
+        bits1 = blaster.encode_bv(X)
+        bits2 = blaster.encode_bv(X)
+        assert bits1 == bits2
+
+
+# -- exhaustive property: encoding == evaluate for random closed ops --------
+
+_BIN_OPS = {
+    "add": T.add, "sub": T.sub, "mul": T.mul,
+    "and": T.bv_and, "or": T.bv_or, "xor": T.bv_xor,
+    "shl": T.shl, "lshr": T.lshr,
+}
+
+
+@given(
+    op=st.sampled_from(sorted(_BIN_OPS)),
+    a=st.integers(0, 15),
+    b=st.integers(0, 15),
+)
+@settings(max_examples=200, deadline=None)
+def test_binop_encoding_matches_semantics(op, a, b):
+    """Assert op(a, b) != evaluate(op(a, b)) is UNSAT — encoding is exact."""
+    expr = _BIN_OPS[op](T.bv_const(a, 4), T.bv_const(b, 4))
+    expected = T.evaluate(expr, {})
+    # Use free variables constrained to constants so folding can't bypass CNF.
+    expr_v = _BIN_OPS[op](X, Y)
+    constraint = T.bool_and(
+        T.eq(X, T.bv_const(a, 4)),
+        T.eq(Y, T.bv_const(b, 4)),
+        T.ne(expr_v, T.bv_const(expected, 4)),
+    )
+    blaster = BitBlaster()
+    assert_term(blaster, constraint)
+    assert blaster.solver.solve() == UNSAT
+
+
+@given(a=st.integers(0, 15), b=st.integers(0, 15))
+@settings(max_examples=100, deadline=None)
+def test_comparison_encoding_matches_semantics(a, b):
+    for op, pyop in ((T.ult, lambda p, q: p < q), (T.ule, lambda p, q: p <= q)):
+        expr = T.bool_and(
+            T.eq(X, T.bv_const(a, 4)),
+            T.eq(Y, T.bv_const(b, 4)),
+            op(X, Y),
+        )
+        assert is_sat(expr) == pyop(a, b)

@@ -1,0 +1,119 @@
+"""Tests for the interval abstract domain."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import interval as I
+from repro.smt import terms as T
+
+X = T.data_var("iv_x", 8)
+
+
+def c(v, w=8):
+    return T.bv_const(v, w)
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            I.Interval(5, 3)
+
+    def test_point_and_contains(self):
+        point = I.Interval(4, 4)
+        assert point.is_point
+        assert point.contains(4) and not point.contains(5)
+
+    def test_intersects(self):
+        assert I.Interval(0, 5).intersects(I.Interval(5, 9))
+        assert not I.Interval(0, 4).intersects(I.Interval(5, 9))
+
+
+class TestEvalInterval:
+    def test_const_is_point(self):
+        assert I.eval_interval(c(7)) == I.Interval(7, 7)
+
+    def test_free_var_is_full_range(self):
+        assert I.eval_interval(X) == I.Interval(0, 255)
+
+    def test_add_without_overflow(self):
+        expr = T.add(c(10), c(20))
+        assert I.eval_interval(expr) == I.Interval(30, 30)
+
+    def test_and_bounded_by_mask(self):
+        expr = T.bv_and(X, c(0x0F))
+        assert I.eval_interval(expr).hi <= 0x0F
+
+    def test_lshr_shrinks(self):
+        expr = T.lshr(X, c(4))
+        assert I.eval_interval(expr) == I.Interval(0, 15)
+
+    def test_concat(self):
+        lo = T.data_var("iv_lo", 4)
+        expr = T.concat(c(0xA, 4), lo)
+        result = I.eval_interval(expr)
+        assert result.lo == 0xA0 and result.hi == 0xAF
+
+
+class TestEvalBool:
+    def test_definitely_false_disjoint(self):
+        expr = T.eq(T.bv_and(X, c(0x0F)), c(0xF0))
+        assert I.eval_bool(expr) == I.DEFINITELY_FALSE
+
+    def test_definitely_true_comparison(self):
+        expr = T.ult(T.lshr(X, c(4)), c(16))
+        assert I.eval_bool(expr) == I.DEFINITELY_TRUE
+
+    def test_unknown_when_overlapping(self):
+        assert I.eval_bool(T.eq(X, c(3))) == I.UNKNOWN
+
+    def test_connectives(self):
+        false_leaf = T.eq(T.bv_and(X, c(0x0F)), c(0xF0))
+        assert I.eval_bool(T.bool_and(false_leaf, T.eq(X, c(1)))) == I.DEFINITELY_FALSE
+        assert I.eval_bool(T.bool_or(T.bool_not(false_leaf), T.eq(X, c(1)))) == I.DEFINITELY_TRUE
+
+    def test_deep_term_no_recursion_error(self):
+        expr = X
+        for i in range(3000):
+            expr = T.ite(T.eq(X, c(i % 256)), c(i % 256), expr)
+        assert I.eval_bool(T.eq(expr, c(0))) in (
+            I.DEFINITELY_TRUE, I.DEFINITELY_FALSE, I.UNKNOWN
+        )
+
+
+# -- soundness property ------------------------------------------------------
+
+
+@st.composite
+def small_terms(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return draw(st.sampled_from([X, c(0), c(15), c(draw(st.integers(0, 255)))]))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "lshr", "shl"]))
+    a = draw(small_terms(depth=depth + 1))
+    b = draw(small_terms(depth=depth + 1))
+    return {
+        "add": T.add, "sub": T.sub, "and": T.bv_and,
+        "or": T.bv_or, "lshr": T.lshr, "shl": T.shl,
+    }[op](a, b)
+
+
+@given(term=small_terms(), x=st.integers(0, 255))
+@settings(max_examples=300, deadline=None)
+def test_interval_is_sound(term, x):
+    """The concrete value always falls inside the computed interval."""
+    value = T.evaluate(term, {"iv_x": x})
+    box = I.eval_interval(term)
+    assert box.contains(value)
+
+
+@given(
+    a=st.integers(0, 255), b=st.integers(0, 255), x=st.integers(0, 255),
+)
+@settings(max_examples=200, deadline=None)
+def test_bool_verdicts_sound(a, b, x):
+    term = T.eq(T.bv_and(X, c(a)), c(b))
+    verdict = I.eval_bool(term)
+    concrete = T.evaluate(term, {"iv_x": x})
+    if verdict == I.DEFINITELY_TRUE:
+        assert concrete == 1
+    elif verdict == I.DEFINITELY_FALSE:
+        assert concrete == 0

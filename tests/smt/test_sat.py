@@ -1,0 +1,130 @@
+"""Tests for the DPLL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SAT, UNSAT, SatSolver, SolverBudgetExceeded
+
+
+def brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert SatSolver().solve() == SAT
+
+    def test_single_unit(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert solver.solve() == SAT
+        assert solver.model()[1] is True
+
+    def test_conflicting_units(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() == UNSAT
+        assert solver.model() is None
+
+    def test_empty_clause_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([])
+        assert solver.solve() == UNSAT
+
+    def test_tautology_dropped(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.num_clauses == 0
+        assert solver.solve() == SAT
+
+    def test_duplicate_literals_collapsed(self):
+        solver = SatSolver()
+        solver.add_clause([1, 1, 1])
+        assert solver.solve() == SAT
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            SatSolver().add_clause([0])
+
+    def test_implication_chain(self):
+        solver = SatSolver()
+        for i in range(1, 50):
+            solver.add_clause([-i, i + 1])  # i -> i+1
+        solver.add_clause([1])
+        solver.add_clause([-50])
+        assert solver.solve() == UNSAT
+
+    def test_model_satisfies_clauses(self):
+        rng = random.Random(1)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, 8) for _ in range(3)]
+            for _ in range(20)
+        ]
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        if solver.solve() == SAT:
+            model = solver.model()
+            for clause in clauses:
+                assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var p_{i,j}: pigeon i in hole j (i in 0..2, j in 0..1)
+        def v(i, j):
+            return i * 2 + j + 1
+
+        solver = SatSolver()
+        for i in range(3):
+            solver.add_clause([v(i, 0), v(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    solver.add_clause([-v(i1, j), -v(i2, j)])
+        assert solver.solve() == UNSAT
+
+    def test_budget_exceeded(self):
+        # Pigeonhole 6→5 requires real search; a budget of 1 decision trips.
+        def v(i, j):
+            return i * 5 + j + 1
+
+        solver = SatSolver()
+        for i in range(6):
+            solver.add_clause([v(i, j) for j in range(5)])
+        for j in range(5):
+            for i1 in range(6):
+                for i2 in range(i1 + 1, 6):
+                    solver.add_clause([-v(i1, j), -v(i2, j)])
+        with pytest.raises(SolverBudgetExceeded):
+            solver.solve(max_decisions=1)
+
+
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(1, 6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_agrees_with_brute_force(clauses):
+    solver = SatSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    expected = brute_force(6, clauses)
+    assert (solver.solve() == SAT) == expected

@@ -1,0 +1,206 @@
+"""Unit + property tests for the algebraic simplifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.simplify import constant_value, simplify
+
+X = T.data_var("sx", 8)
+Y = T.data_var("sy", 8)
+P = T.bool_var("sp")
+Q = T.bool_var("sq")
+
+
+def c(v, w=8):
+    return T.bv_const(v, w)
+
+
+class TestFolding:
+    def test_constant_arith_folds(self):
+        assert simplify(T.add(c(3), c(4))) is c(7)
+        assert simplify(T.mul(c(3), c(4))) is c(12)
+        assert simplify(T.sub(c(3), c(4))) is c(255)
+
+    def test_constant_compare_folds(self):
+        assert simplify(T.ult(c(3), c(4))) is T.TRUE
+        assert simplify(T.eq(c(3), c(4))) is T.FALSE
+
+    def test_identity_elements(self):
+        assert simplify(T.add(X, c(0))) is X
+        assert simplify(T.sub(X, c(0))) is X
+        assert simplify(T.mul(X, c(1))) is X
+        assert simplify(T.bv_or(X, c(0))) is X
+        assert simplify(T.bv_xor(X, c(0))) is X
+        assert simplify(T.bv_and(X, c(0xFF))) is X
+
+    def test_annihilators(self):
+        assert simplify(T.mul(X, c(0))) is c(0)
+        assert simplify(T.bv_and(X, c(0))) is c(0)
+        assert simplify(T.bv_or(X, c(0xFF))) is c(0xFF)
+
+    def test_self_cancellation(self):
+        assert simplify(T.sub(X, X)) is c(0)
+        assert simplify(T.bv_xor(X, X)) is c(0)
+        assert simplify(T.bv_and(X, X)) is X
+        assert simplify(T.bv_or(X, X)) is X
+
+    def test_double_negation(self):
+        assert simplify(T.bv_not(T.bv_not(X))) is X
+        assert simplify(T.bool_not(T.bool_not(P))) is P
+
+    def test_strength_reduction_mul_power_of_two(self):
+        reduced = simplify(T.mul(X, c(8)))
+        assert reduced.op == T.OP_SHL
+        assert T.evaluate(reduced, {"sx": 5}) == 40
+
+    def test_shift_by_zero(self):
+        assert simplify(T.shl(X, c(0))) is X
+        assert simplify(T.lshr(X, c(0))) is X
+
+    def test_overshift_is_zero(self):
+        assert simplify(T.shl(X, c(8))) is c(0)
+        assert simplify(T.lshr(X, c(200))) is c(0)
+
+
+class TestIte:
+    def test_const_condition(self):
+        assert simplify(T.ite(T.TRUE, X, Y)) is X
+        assert simplify(T.ite(T.FALSE, X, Y)) is Y
+
+    def test_same_branches_collapse(self):
+        cond = T.eq(X, c(1))
+        assert simplify(T.ite(cond, Y, Y)) is Y
+
+    def test_negated_condition_swaps(self):
+        cond = T.eq(X, c(1))
+        a = simplify(T.ite(T.bool_not(cond), X, Y))
+        b = simplify(T.ite(cond, Y, X))
+        assert a is b
+
+    def test_nested_same_condition_collapses(self):
+        cond = T.eq(X, c(1))
+        nested = T.ite(cond, T.ite(cond, c(1), c(2)), c(3))
+        assert simplify(nested) is simplify(T.ite(cond, c(1), c(3)))
+
+    def test_eq_of_constant_ite_becomes_condition(self):
+        # (cond ? 5 : 0) == 5  -->  cond
+        cond = T.eq(X, c(1))
+        expr = T.eq(T.ite(cond, c(5), c(0)), c(5))
+        assert simplify(expr) is simplify(cond)
+
+    def test_eq_of_constant_ite_no_match_is_false(self):
+        cond = T.eq(X, c(1))
+        expr = T.eq(T.ite(cond, c(5), c(0)), c(7))
+        assert simplify(expr) is T.FALSE
+
+
+class TestBooleans:
+    def test_and_short_circuit(self):
+        assert simplify(T.bool_and(P, T.FALSE)) is T.FALSE
+        assert simplify(T.bool_and(P, T.TRUE)) is P
+
+    def test_or_short_circuit(self):
+        assert simplify(T.bool_or(P, T.TRUE)) is T.TRUE
+        assert simplify(T.bool_or(P, T.FALSE)) is P
+
+    def test_contradiction(self):
+        assert simplify(T.bool_and(P, T.bool_not(P))) is T.FALSE
+        assert simplify(T.bool_or(P, T.bool_not(P))) is T.TRUE
+
+    def test_flattening_dedup(self):
+        expr = T.bool_and(T.bool_and(P, Q), P)
+        assert simplify(expr) is simplify(T.bool_and(P, Q))
+
+    def test_eq_reflexive(self):
+        assert simplify(T.eq(X, X)) is T.TRUE
+        assert simplify(T.ult(X, X)) is T.FALSE
+        assert simplify(T.ule(X, X)) is T.TRUE
+
+    def test_ult_bounds(self):
+        assert simplify(T.ult(X, c(0))) is T.FALSE
+        assert simplify(T.ule(c(0), X)) is T.TRUE
+        assert simplify(T.ule(X, c(0xFF))) is T.TRUE
+
+
+class TestExtractConcat:
+    def test_full_extract_is_identity(self):
+        assert simplify(T.extract(X, 7, 0)) is X
+
+    def test_extract_of_extract_composes(self):
+        wide = T.data_var("sw", 16)
+        inner = T.extract(wide, 11, 4)
+        outer = simplify(T.extract(inner, 5, 2))
+        assert outer is simplify(T.extract(wide, 9, 6))
+
+    def test_extract_of_concat_selects_side(self):
+        a = T.data_var("sca", 8)
+        b = T.data_var("scb", 8)
+        combined = T.concat(a, b)
+        assert simplify(T.extract(combined, 7, 0)) is b
+        assert simplify(T.extract(combined, 15, 8)) is a
+
+
+class TestConstantValue:
+    def test_bv(self):
+        assert constant_value(c(42)) == 42
+
+    def test_bool(self):
+        assert constant_value(T.TRUE) == 1
+        assert constant_value(T.FALSE) == 0
+
+    def test_nonconst(self):
+        assert constant_value(X) is None
+
+
+# -- property: simplification preserves semantics ---------------------------
+
+
+@st.composite
+def bv_terms(draw, depth=0):
+    """Random 8-bit terms over two data variables."""
+    if depth > 3 or draw(st.booleans()):
+        return draw(
+            st.sampled_from(
+                [X, Y, c(0), c(1), c(0xFF), c(draw(st.integers(0, 255)))]
+            )
+        )
+    op = draw(
+        st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "not", "ite", "shl"])
+    )
+    a = draw(bv_terms(depth=depth + 1))
+    if op == "not":
+        return T.bv_not(a)
+    b = draw(bv_terms(depth=depth + 1))
+    if op == "add":
+        return T.add(a, b)
+    if op == "sub":
+        return T.sub(a, b)
+    if op == "mul":
+        return T.mul(a, b)
+    if op == "and":
+        return T.bv_and(a, b)
+    if op == "or":
+        return T.bv_or(a, b)
+    if op == "xor":
+        return T.bv_xor(a, b)
+    if op == "shl":
+        return T.shl(a, b)
+    cond_kind = draw(st.sampled_from(["eq", "ult", "ule"]))
+    cond = {"eq": T.eq, "ult": T.ult, "ule": T.ule}[cond_kind](a, b)
+    c2 = draw(bv_terms(depth=depth + 1))
+    return T.ite(cond, b, c2)
+
+
+@given(term=bv_terms(), x=st.integers(0, 255), y=st.integers(0, 255))
+@settings(max_examples=300, deadline=None)
+def test_simplify_preserves_semantics(term, x, y):
+    env = {"sx": x, "sy": y}
+    assert T.evaluate(simplify(term), env) == T.evaluate(term, env)
+
+
+@given(term=bv_terms())
+@settings(max_examples=100, deadline=None)
+def test_simplify_is_idempotent(term, ):
+    once = simplify(term)
+    assert simplify(once) is once

@@ -1,0 +1,122 @@
+"""Tests for the layered solver facade."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.solver import Solver
+
+X = T.data_var("so_x", 8)
+Y = T.data_var("so_y", 8)
+
+
+def c(v, w=8):
+    return T.bv_const(v, w)
+
+
+class TestCheckSat:
+    def test_trivially_true(self):
+        solver = Solver()
+        assert solver.check_sat(T.TRUE).satisfiable
+        assert solver.stats.by_simplify == 1
+
+    def test_trivially_false(self):
+        solver = Solver()
+        assert not solver.check_sat(T.FALSE).satisfiable
+
+    def test_decided_by_simplify(self):
+        solver = Solver()
+        assert not solver.check_sat(T.ne(X, X)).satisfiable
+        assert solver.stats.by_sat == 0
+
+    def test_decided_by_interval(self):
+        solver = Solver()
+        term = T.eq(T.bv_and(X, c(0x0F)), c(0xF0))
+        assert not solver.check_sat(term).satisfiable
+        assert solver.stats.by_interval == 1
+        assert solver.stats.by_sat == 0
+
+    def test_interval_precheck_can_be_disabled(self):
+        solver = Solver(use_interval_precheck=False)
+        term = T.eq(T.bv_and(X, c(0x0F)), c(0xF0))
+        assert not solver.check_sat(term).satisfiable
+        assert solver.stats.by_sat == 1
+
+    def test_falls_through_to_sat_with_model(self):
+        solver = Solver()
+        result = solver.check_sat(
+            T.bool_and(T.eq(T.add(X, Y), c(10)), T.eq(X, c(3)))
+        )
+        assert result.satisfiable
+        assert result.model is not None
+        assert (result.model["so_x"] + result.model["so_y"]) % 256 == 10
+
+    def test_rejects_bv_term(self):
+        with pytest.raises(T.SortError):
+            Solver().check_sat(X)
+
+
+class TestValidity:
+    def test_tautology(self):
+        solver = Solver()
+        assert solver.is_valid(T.bool_or(T.eq(X, c(1)), T.ne(X, c(1))))
+
+    def test_non_tautology(self):
+        assert not Solver().is_valid(T.eq(X, c(1)))
+
+    def test_masked_identity_valid(self):
+        # (x & 0xF0) | (x & 0x0F) == x for all x.
+        lhs = T.bv_or(T.bv_and(X, c(0xF0)), T.bv_and(X, c(0x0F)))
+        assert Solver().is_valid(T.eq(lhs, X))
+
+
+class TestProveEqual:
+    def test_identical_terms(self):
+        solver = Solver()
+        assert solver.prove_equal(T.add(X, c(1)), T.add(X, c(1)))
+
+    def test_commuted(self):
+        assert Solver().prove_equal(T.add(X, Y), T.add(Y, X))
+
+    def test_semantic_equality_needs_solver(self):
+        # x + x == x << 1 (not syntactically equal after simplification).
+        assert Solver().prove_equal(T.add(X, X), T.shl(X, c(1)))
+
+    def test_inequality(self):
+        assert not Solver().prove_equal(T.add(X, c(1)), X)
+
+    def test_sort_mismatch(self):
+        assert not Solver().prove_equal(T.TRUE, X)
+        assert not Solver().prove_equal(X, T.data_var("so_w16", 16))
+
+
+class TestFindConstant:
+    def test_literal(self):
+        assert Solver().find_constant(c(9)) == 9
+
+    def test_simplifies_to_constant(self):
+        assert Solver().find_constant(T.bv_and(X, c(0))) == 0
+
+    def test_non_constant(self):
+        assert Solver().find_constant(X) is None
+
+    def test_semantically_constant(self):
+        # (x | ~x) is all-ones for every x — only the solver can see it.
+        expr = T.bv_or(X, T.bv_not(X))
+        assert Solver().find_constant(expr) == 0xFF
+
+    def test_bool_constant(self):
+        assert Solver().find_constant(T.ule(c(0), X)) == 1
+        assert Solver().find_constant(T.ult(X, c(0))) == 0
+        assert Solver().find_constant(T.eq(X, c(3))) is None
+
+
+@given(value=st.integers(0, 255))
+@settings(max_examples=50, deadline=None)
+def test_unsat_means_no_counterexample(value):
+    """If check_sat says UNSAT, no concrete value satisfies the term."""
+    solver = Solver()
+    term = T.bool_and(T.eq(X, c(value)), T.ne(X, c(value)))
+    result = solver.check_sat(term)
+    assert not result.satisfiable
+    assert T.evaluate(term, {"so_x": value}) == 0

@@ -1,0 +1,216 @@
+"""Tests for the reference interpreter (BMv2 stand-in)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.p4.parser import parse_program
+from repro.runtime.entries import ExactMatch, LpmMatch, TableEntry, TernaryMatch
+from repro.runtime.semantics import ControlPlaneState, INSERT, Update
+from repro.targets.bmv2 import Interpreter, Packet, PacketBuilder
+
+SOURCE = """
+header eth_t { bit<48> dst; bit<16> type; }
+header ipv4_t { bit<8> ttl; bit<32> dst; }
+struct headers_t { eth_t eth; ipv4_t ipv4; }
+struct meta_t { bit<9> port; bit<8> mark; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt_extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt_extract(hdr.ipv4);
+        transition accept;
+    }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action fwd(bit<9> port) { meta.port = port; }
+    action drop_it() { mark_to_drop(); }
+    action noop() { }
+    table routes {
+        key = { hdr.ipv4.dst: lpm; }
+        actions = { fwd; drop_it; noop; }
+        default_action = drop_it();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                drop_it();
+            } else {
+                hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                routes.apply();
+            }
+        }
+    }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+def eth_ipv4_packet(dst_ip=0x0A000001, ttl=64, ether_type=0x0800):
+    return (
+        PacketBuilder()
+        .push(0x001122334455, 48)
+        .push(ether_type, 16)
+        .push(ttl, 8)
+        .push(dst_ip, 32)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = parse_program(SOURCE)
+    model = analyze(program)
+    return program, model
+
+
+class TestExecution:
+    def test_parse_and_route(self, setup):
+        program, model = setup
+        state = ControlPlaneState(model)
+        state.apply_update(
+            Update("routes", INSERT, TableEntry((LpmMatch(0x0A000000, 8),), "fwd", (7,)))
+        )
+        result = Interpreter(program).run(eth_ipv4_packet(), state)
+        assert not result.dropped
+        assert result.store["meta.port"] == 7
+        assert result.store["hdr.ipv4.ttl"] == 63
+
+    def test_miss_runs_default(self, setup):
+        program, model = setup
+        state = ControlPlaneState(model)
+        result = Interpreter(program).run(eth_ipv4_packet(), state)
+        assert result.dropped  # default is drop_it
+
+    def test_longest_prefix_wins(self, setup):
+        program, model = setup
+        state = ControlPlaneState(model)
+        state.apply_update(
+            Update("routes", INSERT, TableEntry((LpmMatch(0x0A000000, 8),), "fwd", (1,)))
+        )
+        state.apply_update(
+            Update("routes", INSERT, TableEntry((LpmMatch(0x0A000000, 24),), "fwd", (2,)))
+        )
+        result = Interpreter(program).run(eth_ipv4_packet(0x0A000099), state)
+        assert result.store["meta.port"] == 2
+
+    def test_non_ip_packet_skips_control(self, setup):
+        program, _ = setup
+        result = Interpreter(program).run(eth_ipv4_packet(ether_type=0x86DD))
+        # Select has no 0x86DD case... default accepts without ipv4.
+        assert result.store["hdr.ipv4.$valid"] == 0
+        assert not result.dropped
+
+    def test_ttl_zero_dropped(self, setup):
+        program, model = setup
+        state = ControlPlaneState(model)
+        result = Interpreter(program).run(eth_ipv4_packet(ttl=0), state)
+        assert result.dropped
+
+    def test_truncated_packet_rejected(self, setup):
+        program, _ = setup
+        short = Packet(bytes(4))  # too short for ethernet
+        result = Interpreter(program).run(short)
+        assert result.parser_error and result.dropped
+
+    def test_trace_records_steps(self, setup):
+        program, model = setup
+        result = Interpreter(program).run(eth_ipv4_packet(), ControlPlaneState(model))
+        assert "extract:hdr.eth" in result.trace
+        assert any(step.startswith("table:") for step in result.trace)
+
+
+PRIORITY_SOURCE = """
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    apply { t.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+class TestTernaryPriority:
+    def test_higher_priority_wins(self):
+        program = parse_program(PRIORITY_SOURCE)
+        model = analyze(program)
+        state = ControlPlaneState(model)
+        state.apply_update(Update("t", INSERT, TableEntry(
+            (TernaryMatch(0, 0),), "set", (1,), priority=1)))
+        state.apply_update(Update("t", INSERT, TableEntry(
+            (TernaryMatch(0x42, 0xFF),), "set", (2,), priority=10)))
+        packet = PacketBuilder().push(0x42, 8).build()
+        result = Interpreter(program).run(packet, state)
+        assert result.store["meta.m"] == 2
+        other = PacketBuilder().push(0x41, 8).build()
+        result = Interpreter(program).run(other, state)
+        assert result.store["meta.m"] == 1
+
+
+REGISTER_SOURCE = """
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    register<bit<8>>(16) reg;
+    apply {
+        reg.read(meta.m, 8w3);
+        meta.m = meta.m + 1;
+        reg.write(8w3, meta.m);
+    }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+class TestExterns:
+    def test_registers_persist_across_packets(self):
+        program = parse_program(REGISTER_SOURCE)
+        interp = Interpreter(program)
+        registers = {}
+        packet = PacketBuilder().push(0, 8).build()
+        first = interp.run(packet, registers=registers)
+        second = interp.run(packet, registers=registers)
+        assert first.store["meta.m"] == 1
+        assert second.store["meta.m"] == 2
+
+    def test_intrinsic_metadata_injected(self):
+        source = PRIORITY_SOURCE.replace(
+            "struct meta_t { bit<8> m; }",
+            "struct intr_t { bit<9> ingress_port; }\nstruct meta_t { bit<8> m; }",
+        ).replace(
+            "(inout headers_t hdr, inout meta_t meta)",
+            "(inout headers_t hdr, inout meta_t meta, inout intr_t intr)",
+        )
+        program = parse_program(source)
+        packet = PacketBuilder().push(0, 8).build()
+        result = Interpreter(program).run(
+            packet, intrinsic={"intr.ingress_port": 5}
+        )
+        assert result.store["intr.ingress_port"] == 5
+
+    def test_unknown_intrinsic_path_rejected(self):
+        program = parse_program(PRIORITY_SOURCE)
+        packet = PacketBuilder().push(0, 8).build()
+        from repro.targets.bmv2 import InterpreterError
+
+        with pytest.raises(InterpreterError):
+            Interpreter(program).run(packet, intrinsic={"bogus.path": 1})

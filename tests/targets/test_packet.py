@@ -1,0 +1,65 @@
+"""Tests for bit-level packets."""
+
+import pytest
+
+from repro.targets.bmv2.packet import Packet, PacketBuilder, PacketUnderflow
+
+
+class TestPacket:
+    def test_extract_msb_first(self):
+        packet = Packet(bytes([0b10110000]))
+        assert packet.extract_bits(1) == 1
+        assert packet.extract_bits(2) == 0b01
+        assert packet.extract_bits(5) == 0b10000
+
+    def test_extract_across_bytes(self):
+        packet = Packet(bytes([0xAB, 0xCD]))
+        assert packet.extract_bits(12) == 0xABC
+        assert packet.extract_bits(4) == 0xD
+
+    def test_underflow(self):
+        packet = Packet(bytes([0xFF]))
+        packet.extract_bits(8)
+        with pytest.raises(PacketUnderflow):
+            packet.extract_bits(1)
+
+    def test_reset(self):
+        packet = Packet(bytes([0x42]))
+        packet.extract_bits(8)
+        packet.reset()
+        assert packet.extract_bits(8) == 0x42
+
+    def test_remaining_bits(self):
+        packet = Packet(bytes([0, 0]))
+        packet.extract_bits(3)
+        assert packet.remaining_bits == 13
+
+
+class TestBuilder:
+    def test_round_trip(self):
+        packet = (
+            PacketBuilder()
+            .push(0xABC, 12)
+            .push(0x5, 4)
+            .push(0xDEADBEEF, 32)
+            .build()
+        )
+        assert packet.extract_bits(12) == 0xABC
+        assert packet.extract_bits(4) == 0x5
+        assert packet.extract_bits(32) == 0xDEADBEEF
+
+    def test_padding(self):
+        packet = PacketBuilder().push(1, 3).build()
+        assert packet.bit_length == 8  # padded to byte boundary
+
+    def test_pad_to_bytes(self):
+        packet = PacketBuilder().push(1, 8).build(pad_to_bytes=64)
+        assert len(packet.data) == 64
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            PacketBuilder().push(256, 8)
+
+    def test_push_bytes(self):
+        packet = PacketBuilder().push_bytes(b"\x12\x34").build()
+        assert packet.extract_bits(16) == 0x1234

@@ -1,0 +1,150 @@
+"""Tests for the Tofino RMT resource model, allocator, and compiler model."""
+
+import pytest
+
+from repro.ir import build_dependency_graph
+from repro.p4.parser import parse_program
+from repro.programs import registry
+from repro.targets.tofino import (
+    PipelineSpec,
+    ResourceError,
+    TOFINO1,
+    TOFINO2,
+    TofinoCompiler,
+    allocate,
+)
+from repro.targets.tofino.resources import table_memory_bits
+
+
+def _program(locals_: str, body: str) -> str:
+    return f"""
+header h_t {{ bit<8> f; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ bit<8> a; bit<8> b; bit<8> c; }}
+parser P(inout headers_t hdr, inout meta_t meta) {{
+    state start {{ transition accept; }}
+}}
+control C(inout headers_t hdr, inout meta_t meta) {{
+{locals_}
+    apply {{ {body} }}
+}}
+Pipeline(P(), C()) main;
+"""
+
+
+CHAIN = """
+    action s1(bit<8> v) { meta.a = v; }
+    action s2(bit<8> v) { meta.b = v; }
+    action s3(bit<8> v) { meta.c = v; }
+    action noop() { }
+    table t1 { key = { hdr.h.f: exact; } actions = { s1; noop; } default_action = noop(); }
+    table t2 { key = { meta.a: exact; } actions = { s2; noop; } default_action = noop(); }
+    table t3 { key = { meta.b: exact; } actions = { s3; noop; } default_action = noop(); }
+"""
+
+
+class TestAllocator:
+    def test_dependent_chain_uses_consecutive_stages(self):
+        program = parse_program(_program(CHAIN, "t1.apply(); t2.apply(); t3.apply();"))
+        report = allocate(program)
+        assert report.stages_used == 3
+
+    def test_independent_tables_share_stage(self):
+        locals_ = CHAIN.replace("meta.a: exact", "hdr.h.f: exact").replace(
+            "meta.b: exact", "hdr.h.f: exact"
+        )
+        # All three read hdr.h.f and write different fields: no deps.
+        program = parse_program(_program(locals_, "t1.apply(); t2.apply(); t3.apply();"))
+        report = allocate(program)
+        assert report.stages_used == 1
+
+    def test_placement_respects_final_positions(self):
+        program = parse_program(_program(CHAIN, "t1.apply(); t2.apply(); t3.apply();"))
+        report = allocate(program)
+        placement = {}
+        for stage in report.stage_usages:
+            for name in stage.tables:
+                placement[name] = stage.index
+        assert placement["C.t1"] < placement["C.t2"] < placement["C.t3"]
+
+    def test_strict_mode_raises_when_over_capacity(self):
+        tiny = PipelineSpec(name="tiny", num_stages=1)
+        program = parse_program(_program(CHAIN, "t1.apply(); t2.apply(); t3.apply();"))
+        with pytest.raises(ResourceError):
+            allocate(program, tiny, strict=True)
+
+    def test_oversized_table_spans_stages(self):
+        locals_ = """
+    action noop() { }
+    action fwd(bit<8> v) { meta.a = v; }
+    table big {
+        key = { hdr.h.f: ternary; }
+        actions = { fwd; noop; }
+        default_action = noop();
+        size = 10000000;
+    }
+"""
+        program = parse_program(_program(locals_, "big.apply();"))
+        report = allocate(program)
+        assert report.stages_used > 1  # the table spans stages, no hang
+
+    def test_tofino1_smaller_than_tofino2(self):
+        assert TOFINO1.num_stages < TOFINO2.num_stages
+
+    def test_report_describe(self):
+        program = parse_program(_program(CHAIN, "t1.apply();"))
+        text = allocate(program).describe()
+        assert "stages" in text and "SRAM" in text
+
+
+class TestMemoryModel:
+    def test_exact_uses_sram_only(self):
+        sram, tcam = table_memory_bits(32, 0, 0, 1024, 16)
+        assert sram > 0 and tcam == 0
+
+    def test_ternary_uses_tcam(self):
+        _, tcam = table_memory_bits(0, 32, 0, 1024, 0)
+        assert tcam == 32 * 1024 * 2
+
+    def test_memory_scales_with_entries(self):
+        small = table_memory_bits(32, 0, 0, 100, 16)
+        large = table_memory_bits(32, 0, 0, 1000, 16)
+        assert large[0] > small[0]
+
+
+class TestCompilerModel:
+    def test_table1_shape(self):
+        """Modeled times preserve the paper's Table 1 ordering and are
+        within 20% of the published numbers."""
+        modeled = {}
+        for name in registry.TABLE1_PROGRAMS:
+            entry = registry.get(name)
+            report = TofinoCompiler(program_name=name).compile(entry.parse())
+            modeled[name] = report.modeled_seconds
+            assert (
+                abs(report.modeled_seconds - entry.paper_compile_seconds)
+                <= 0.2 * entry.paper_compile_seconds
+            ), f"{name}: {report.modeled_seconds} vs {entry.paper_compile_seconds}"
+        assert modeled["switch"] > modeled["scion"] > modeled["beaucoup"]
+
+    def test_specialization_reduces_modeled_time(self):
+        """A program stripped of half its tables must model faster —
+        monotonicity the incremental story depends on."""
+        program = parse_program(_program(CHAIN, "t1.apply(); t2.apply(); t3.apply();"))
+        small = parse_program(_program(CHAIN, "t1.apply();"))
+        full_report = TofinoCompiler().compile(program)
+        small_report = TofinoCompiler().compile(small)
+        assert small_report.modeled_seconds < full_report.modeled_seconds
+
+    def test_compile_counts(self):
+        compiler = TofinoCompiler()
+        program = parse_program(_program(CHAIN, "t1.apply();"))
+        compiler.compile(program)
+        compiler.compile(program)
+        assert compiler.compile_count == 2
+
+    def test_floor_clamps(self):
+        from repro.targets.tofino.compiler import CostModel
+
+        model = CostModel()
+        assert model.estimate(10**6, 0, 10**6, 0) == model.floor_seconds
