@@ -79,6 +79,10 @@ def cmd_specialize(args) -> int:
         decision = flay.process_batch(configuration.updates())
         print(f"# config: {decision.describe()}", file=sys.stderr)
     print(f"# specializations: {flay.report.summary()}", file=sys.stderr)
+    if args.stats:
+        print("# cache statistics:", file=sys.stderr)
+        for line in flay.cache_stats().describe().splitlines():
+            print(f"#   {line}", file=sys.stderr)
     text = flay.specialized_source()
     if args.output:
         with open(args.output, "w") as handle:
@@ -151,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument("--skip-parser", action="store_true")
     p_spec.add_argument(
         "--effort", choices=("none", "dce", "full"), default="full"
+    )
+    p_spec.add_argument(
+        "--stats",
+        action="store_true",
+        help="print evaluation-cache hit/miss statistics to stderr",
     )
     p_spec.set_defaults(func=cmd_specialize)
 

@@ -150,6 +150,10 @@ class Flay:
     def compile_reports(self) -> list:
         return self.runtime.compile_reports
 
+    def cache_stats(self):
+        """Hit/miss/invalidation counters of the cross-update caches."""
+        return self.runtime.cache_stats()
+
     def summary(self) -> str:
         log = self.runtime.update_log
         lines = [

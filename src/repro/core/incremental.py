@@ -17,6 +17,7 @@ from repro.analysis.model import DataPlaneModel
 from repro.analysis.symexec import analyze
 from repro.core.queries import PointVerdict, QueryEngine, TableVerdict
 from repro.core.specializer import SpecializationReport, Specializer
+from repro.ir.metrics import CacheReport
 from repro.p4 import ast_nodes as ast
 from repro.p4.types import TypeEnv
 from repro.runtime.semantics import (
@@ -27,7 +28,7 @@ from repro.runtime.semantics import (
     encode_table,
     encode_value_set,
 )
-from repro.smt import Substitution
+from repro.smt import DeltaSubstitution
 from repro.smt.terms import Term
 
 
@@ -123,6 +124,12 @@ class IncrementalSpecializer:
         self.recompilations = 0
         self.compile_reports: list = []
 
+        # One long-lived substitution whose memo survives across updates:
+        # an update only invalidates the memo entries that mention a
+        # control symbol whose assignment actually changed (delta
+        # substitution), so warm updates touch O(delta) of each point's DAG.
+        self.substitution = DeltaSubstitution({})
+
         self._encode_initial()
         self._evaluate_all_points()
         self.specialized_program, self.report = self.specializer.specialize(
@@ -146,11 +153,10 @@ class IncrementalSpecializer:
             )
 
     def _evaluate_all_points(self) -> None:
-        substitution = Substitution(self.mapping)
-        memo: dict[int, Term] = {}
+        self.substitution.set_many(self.mapping)
         for pid, point in self.model.points.items():
             self.point_verdicts[pid] = self.engine.point_verdict(
-                point, substitution, memo
+                point, self.substitution
             )
 
     # -- update processing -------------------------------------------------------
@@ -164,14 +170,13 @@ class IncrementalSpecializer:
         )
         self.table_assignments[info.name] = assignment
         self.mapping.update(assignment.mapping)
+        self.substitution.set_many(assignment.mapping)
 
         changed: list = []
         affected = self.model.points_for_control_vars(info.control_var_names())
-        substitution = Substitution(self.mapping)
-        memo: dict[int, Term] = {}
-        for pid in affected:
+        for pid in sorted(affected):
             verdict = self.engine.point_verdict(
-                self.model.points[pid], substitution, memo
+                self.model.points[pid], self.substitution
             )
             if not verdict.same_specialization(self.point_verdicts[pid]):
                 changed.append(pid)
@@ -208,14 +213,13 @@ class IncrementalSpecializer:
         info = self.state.apply_value_set_update(update)
         mapping = encode_value_set(info, self.state.value_sets[info.name])
         self.mapping.update(mapping)
+        self.substitution.set_many(mapping)
 
         changed: list = []
         affected = self.model.points_for_control_vars(info.control_var_names())
-        substitution = Substitution(self.mapping)
-        memo: dict[int, Term] = {}
-        for pid in affected:
+        for pid in sorted(affected):
             verdict = self.engine.point_verdict(
-                self.model.points[pid], substitution, memo
+                self.model.points[pid], self.substitution
             )
             if not verdict.same_specialization(self.point_verdicts[pid]):
                 changed.append(pid)
@@ -255,9 +259,9 @@ class IncrementalSpecializer:
         for update in updates:
             if isinstance(update, ValueSetUpdate):
                 info = self.state.apply_value_set_update(update)
-                self.mapping.update(
-                    encode_value_set(info, self.state.value_sets[info.name])
-                )
+                vs_mapping = encode_value_set(info, self.state.value_sets[info.name])
+                self.mapping.update(vs_mapping)
+                self.substitution.set_many(vs_mapping)
                 touched_vars.update(info.control_var_names())
             else:
                 info = self.state.apply_update(update)
@@ -270,6 +274,7 @@ class IncrementalSpecializer:
             assignment = encode_table(info, self.state.tables[name], self.threshold)
             self.table_assignments[name] = assignment
             self.mapping.update(assignment.mapping)
+            self.substitution.set_many(assignment.mapping)
             table_verdict = self.engine.table_verdict(
                 info, assignment, self.state.tables[name]
             )
@@ -278,11 +283,9 @@ class IncrementalSpecializer:
             self.table_verdicts[name] = table_verdict
 
         affected = self.model.points_for_control_vars(touched_vars)
-        substitution = Substitution(self.mapping)
-        memo: dict[int, Term] = {}
-        for pid in affected:
+        for pid in sorted(affected):
             verdict = self.engine.point_verdict(
-                self.model.points[pid], substitution, memo
+                self.model.points[pid], self.substitution
             )
             if not verdict.same_specialization(self.point_verdicts[pid]):
                 changed.append(pid)
@@ -336,3 +339,13 @@ class IncrementalSpecializer:
         if not self.update_log:
             return 0.0
         return sum(d.elapsed_ms for d in self.update_log) / len(self.update_log)
+
+    def cache_stats(self) -> CacheReport:
+        """Hit/miss/invalidation counters for every cross-update cache layer."""
+        report = CacheReport()
+        report.add(self.substitution.counter)
+        report.add(self.engine.exec_counter)
+        report.add(self.engine.solver.cache_counter)
+        report.add(self.engine.solver.cnf_counter)
+        report.add(self.state.active_counter)
+        return report

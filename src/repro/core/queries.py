@@ -26,6 +26,7 @@ from repro.analysis.model import (
     ProgramPoint,
     TableInfo,
 )
+from repro.ir.metrics import CacheCounter
 from repro.runtime.entries import LpmMatch, TernaryMatch
 from repro.runtime.semantics import TableAssignment, TableState
 from repro.smt import Solver, Substitution, terms as T
@@ -104,6 +105,27 @@ class QueryEngine:
         self.solver = solver
         self.use_solver = use_solver
         self.solver_node_budget = solver_node_budget
+        # Cross-update caches.  Both are pure: post-substitution terms are
+        # hash-consed and contain no control symbols, so a verdict/simplified
+        # form computed once is correct forever (only an explicit
+        # :meth:`invalidate` — a generation bump — ever drops them).
+        self.exec_counter = CacheCounter("executability")
+        self.generation = 0
+        self._exec_cache: dict[Term, str] = {}
+        self._simplify_memo: dict[int, Term] = {}
+
+    @property
+    def simplify_memo(self) -> dict[int, Term]:
+        """Engine-persistent simplify memo (id-keyed over interned terms)."""
+        return self._simplify_memo
+
+    def invalidate(self) -> None:
+        """Drop every cache layer (generation bump); verdicts stay correct."""
+        self.generation += 1
+        self.exec_counter.invalidate(len(self._exec_cache))
+        self._exec_cache.clear()
+        self._simplify_memo.clear()
+        self.solver.invalidate_caches()
 
     # -- per-point queries ----------------------------------------------------
 
@@ -113,6 +135,8 @@ class QueryEngine:
         substitution: Substitution,
         memo: Optional[dict[int, Term]] = None,
     ) -> PointVerdict:
+        if memo is None:
+            memo = self._simplify_memo
         term = simplify(substitution.apply(point.expr), memo=memo)
         if point.kind in (KIND_IF, KIND_SELECT):
             return PointVerdict(
@@ -128,18 +152,29 @@ class QueryEngine:
             return ALWAYS
         if term is T.FALSE:
             return NEVER
+        cached = self._exec_cache.get(term)
+        if cached is not None:
+            self.exec_counter.hit()
+            return cached
+        self.exec_counter.miss()
         if not self.use_solver or T.tree_size(term) > self.solver_node_budget:
+            self._exec_cache[term] = MAYBE
             return MAYBE
         # MAYBE is always a sound answer; a blown decision budget simply
-        # means "keep the general implementation".
+        # means "keep the general implementation".  Budget blow-ups are the
+        # one outcome we do not memoize: a later engine configuration change
+        # (or solver cache warm-up) may let the same query finish.
         try:
             if not self.solver.check_sat(term).satisfiable:
-                return NEVER
-            if not self.solver.check_sat(T.bool_not(term)).satisfiable:
-                return ALWAYS
+                verdict = NEVER
+            elif not self.solver.check_sat(T.bool_not(term)).satisfiable:
+                verdict = ALWAYS
+            else:
+                verdict = MAYBE
         except SolverBudgetExceeded:
             return MAYBE
-        return MAYBE
+        self._exec_cache[term] = verdict
+        return verdict
 
     # -- per-table queries ---------------------------------------------------------
 
@@ -169,7 +204,7 @@ class QueryEngine:
                 entry_count=assignment.entry_count,
                 overapproximated=True,
             )
-        selector = simplify(assignment.mapping[info.selector_var])
+        selector = simplify(assignment.mapping[info.selector_var], memo=self._simplify_memo)
         codes = _possible_values(selector)
         code_to_action = {code: name for name, code in info.action_codes.items()}
         if codes is None:
@@ -178,7 +213,7 @@ class QueryEngine:
             feasible = frozenset(
                 code_to_action[c] for c in codes if c in code_to_action
             )
-        hit_term = simplify(assignment.mapping[info.hit_var])
+        hit_term = simplify(assignment.mapping[info.hit_var], memo=self._simplify_memo)
         hit_value = constant_value(hit_term)
         if hit_value == 1:
             hit = ALWAYS

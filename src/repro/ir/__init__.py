@@ -9,4 +9,10 @@ from repro.ir.deps import (
     TableNode,
     build_dependency_graph,
 )
-from repro.ir.metrics import ProgramMetrics, measure, statement_count
+from repro.ir.metrics import (
+    CacheCounter,
+    CacheReport,
+    ProgramMetrics,
+    measure,
+    statement_count,
+)

@@ -3,13 +3,120 @@
 The "Program statements" column of the paper's Table 2 and the
 "exponential in the number of control paths" observation (§4.2) both come
 from here.
+
+This module also hosts the cache instrumentation shared by the
+cross-update evaluation caches (delta substitution, solver verdict
+memoization, CNF fragment reuse, active-entry elision): every cache layer
+owns a :class:`CacheCounter`, and :class:`CacheReport` aggregates them for
+the ``--stats`` CLI flag and the cache benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.p4 import ast_nodes as ast
+
+
+# ---------------------------------------------------------------------------
+# Cache instrumentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheCounter:
+    """Hit/miss/invalidation counters for one cache layer.
+
+    ``hits`` are lookups answered from the cache, ``misses`` are lookups
+    that had to compute (and usually then populate the cache), and
+    ``invalidations`` counts entries dropped because a control-plane update
+    made them stale — the delta the incremental pipeline actually pays for.
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def hit(self, n: int = 1) -> None:
+        self.hits += n
+
+    def miss(self, n: int = 1) -> None:
+        self.misses += n
+
+    def invalidate(self, n: int = 1) -> None:
+        self.invalidations += n
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheCounter":
+        """A frozen copy, for before/after deltas in benchmarks."""
+        return CacheCounter(self.name, self.hits, self.misses, self.invalidations)
+
+    def since(self, baseline: "CacheCounter") -> "CacheCounter":
+        """Counter activity between ``baseline`` and now."""
+        return CacheCounter(
+            self.name,
+            self.hits - baseline.hits,
+            self.misses - baseline.misses,
+            self.invalidations - baseline.invalidations,
+        )
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name:<14} {self.hits:>10} {self.misses:>10} "
+            f"{self.invalidations:>13} {self.hit_rate * 100:>8.1f}%"
+        )
+
+
+@dataclass
+class CacheReport:
+    """All cache layers of one pipeline instance, printable as a table."""
+
+    counters: list = field(default_factory=list)
+
+    def add(self, counter: CacheCounter) -> None:
+        self.counters.append(counter)
+
+    def get(self, name: str) -> CacheCounter:
+        for counter in self.counters:
+            if counter.name == name:
+                return counter
+        raise KeyError(f"no cache counter named {name!r}")
+
+    @property
+    def total_hits(self) -> int:
+        return sum(c.hits for c in self.counters)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(c.misses for c in self.counters)
+
+    @property
+    def total_invalidations(self) -> int:
+        return sum(c.invalidations for c in self.counters)
+
+    def describe(self) -> str:
+        lines = [
+            f"{'cache':<14} {'hits':>10} {'misses':>10} "
+            f"{'invalidations':>13} {'hit rate':>9}"
+        ]
+        lines.extend(c.describe() for c in self.counters)
+        lines.append(
+            f"{'total':<14} {self.total_hits:>10} {self.total_misses:>10} "
+            f"{self.total_invalidations:>13}"
+        )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

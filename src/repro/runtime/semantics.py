@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.analysis.model import DataPlaneModel, TableInfo, ValueSetInfo
+from repro.ir.metrics import CacheCounter
 from repro.runtime.entries import (
     EntryError,
     ExactMatch,
@@ -62,11 +63,28 @@ class ValueSetUpdate:
 
 
 class TableState:
-    """Installed entries of one table, keyed P4Runtime-style."""
+    """Installed entries of one table, keyed P4Runtime-style.
 
-    def __init__(self, info: TableInfo) -> None:
+    The eclipse-elided active list is cached and maintained *incrementally*:
+    an INSERT splices the new entry into the cached list (a bisect on the
+    precedence key plus one coverage sweep, O(n)) instead of recomputing the
+    O(n²) elision from scratch — the dominant cost of precise update
+    processing on large tables.  Deletes of active entries and match-mode
+    changes fall back to a full lazy recompute; everything else keeps the
+    cache.  The splice is exact because :func:`match_covers` is transitive
+    per field: when the new entry evicts a previously-active entry, every
+    entry that old eclipser was hiding is hidden by the new entry too.
+    """
+
+    def __init__(self, info: TableInfo, counter: Optional[CacheCounter] = None) -> None:
         self.info = info
+        self.counter = counter if counter is not None else CacheCounter("active-entries")
         self._entries: dict[object, TableEntry] = {}
+        # Cached eclipse-elided active list (None = needs full recompute)
+        # and the per-mode entry counts that decide the precedence order.
+        self._active: Optional[list[TableEntry]] = []
+        self._n_ternary = 0
+        self._n_lpm = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,29 +98,79 @@ class TableState:
         if op == INSERT:
             if key in self._entries:
                 raise EntryError(f"duplicate entry in {self.info.name}: {key}")
+            mode_before = self._mode()
             self._entries[key] = entry
+            self._count_entry(entry, +1)
+            if self._active is None:
+                return
+            if self._mode() != mode_before:
+                # Precedence order of *existing* entries changed.
+                self._invalidate_active()
+            else:
+                self._splice_insert(entry)
         elif op == MODIFY:
-            if key not in self._entries:
+            old = self._entries.get(key)
+            if old is None:
                 raise EntryError(f"no such entry in {self.info.name}: {key}")
             self._entries[key] = entry
+            # Same match key → same matches and priority → the eclipse
+            # structure is untouched; swap the entry in place if active.
+            if self._active is not None:
+                for i, existing in enumerate(self._active):
+                    if existing is old:
+                        self._active[i] = entry
+                        break
         elif op == DELETE:
-            if key not in self._entries:
+            old = self._entries.get(key)
+            if old is None:
                 raise EntryError(f"no such entry in {self.info.name}: {key}")
+            mode_before = self._mode()
             del self._entries[key]
+            self._count_entry(old, -1)
+            if self._active is None:
+                return
+            if self._mode() != mode_before or any(
+                existing is old for existing in self._active
+            ):
+                # An active entry may have been hiding others; recompute.
+                self._invalidate_active()
+            # Deleting an eclipsed entry cannot un-eclipse anything.
         else:
             raise EntryError(f"unknown update op {op!r}")
 
     def clear(self) -> None:
         self._entries.clear()
+        self._active = []
+        self._n_ternary = 0
+        self._n_lpm = 0
 
     # -- ordering & eclipse ----------------------------------------------------
+
+    def _count_entry(self, entry: TableEntry, delta: int) -> None:
+        if any(isinstance(m, TernaryMatch) for m in entry.matches):
+            self._n_ternary += delta
+        if any(isinstance(m, LpmMatch) for m in entry.matches):
+            self._n_lpm += delta
+
+    def _mode(self) -> str:
+        if self._n_ternary:
+            return "ternary"
+        if self._n_lpm:
+            return "lpm"
+        return "exact"
+
+    def _invalidate_active(self) -> None:
+        if self._active is not None:
+            self._active = None
+            self.counter.invalidate()
 
     def ordered_entries(self) -> list[TableEntry]:
         """Entries in match-precedence order (first match wins)."""
         entries = self.entries()
-        if any(isinstance(m, TernaryMatch) for e in entries for m in e.matches):
+        mode = self._mode()
+        if mode == "ternary":
             entries.sort(key=lambda e: -e.priority)
-        elif any(isinstance(m, LpmMatch) for e in entries for m in e.matches):
+        elif mode == "lpm":
             entries.sort(key=lambda e: -self._total_prefix(e))
         return entries
 
@@ -112,22 +180,58 @@ class TableState:
             m.prefix_len for m in entry.matches if isinstance(m, LpmMatch)
         )
 
+    def _covers(self, outer: TableEntry, inner: TableEntry, widths) -> bool:
+        return all(
+            match_covers(om, im, w)
+            for om, im, w in zip(outer.matches, inner.matches, widths)
+        )
+
+    def _splice_insert(self, entry: TableEntry) -> None:
+        """Maintain the cached active list across one INSERT, in O(n).
+
+        The freshly-inserted entry sorts *after* every existing entry with
+        an equal precedence key (the sort is stable and dict insertion
+        order puts new keys last), so its position among the actives is the
+        first index with a strictly lower-precedence key.
+        """
+        active = self._active
+        assert active is not None
+        mode = self._mode()
+        if mode == "ternary":
+            sort_key = lambda e: -e.priority  # noqa: E731
+        elif mode == "lpm":
+            sort_key = lambda e: -self._total_prefix(e)  # noqa: E731
+        else:
+            sort_key = lambda e: 0  # noqa: E731  (insertion order)
+        new_key = sort_key(entry)
+        pos = len(active)
+        for i, existing in enumerate(active):
+            if sort_key(existing) > new_key:
+                pos = i
+                break
+        widths = self.info.key_widths()
+        if any(self._covers(prev, entry, widths) for prev in active[:pos]):
+            return  # the new entry is born eclipsed
+        survivors = [e for e in active[pos:] if not self._covers(entry, e, widths)]
+        self._active = active[:pos] + [entry] + survivors
+
     def active_entries(self) -> list[TableEntry]:
         """Ordered entries with eclipsed (never-firing) entries elided."""
+        if self._active is not None:
+            self.counter.hit()
+            return list(self._active)
+        self.counter.miss()
         ordered = self.ordered_entries()
         widths = self.info.key_widths()
         active: list[TableEntry] = []
         for entry in ordered:
             eclipsed = any(
-                all(
-                    match_covers(prev_m, m, w)
-                    for prev_m, m, w in zip(prev.matches, entry.matches, widths)
-                )
-                for prev in active
+                self._covers(prev, entry, widths) for prev in active
             )
             if not eclipsed:
                 active.append(entry)
-        return active
+        self._active = active
+        return list(active)
 
 
 class ControlPlaneState:
@@ -135,8 +239,10 @@ class ControlPlaneState:
 
     def __init__(self, model: DataPlaneModel) -> None:
         self.model = model
+        self.active_counter = CacheCounter("active-entries")
         self.tables: dict[str, TableState] = {
-            name: TableState(info) for name, info in model.tables.items()
+            name: TableState(info, counter=self.active_counter)
+            for name, info in model.tables.items()
         }
         self.value_sets: dict[str, tuple] = {
             name: () for name in model.value_sets
@@ -265,14 +371,22 @@ def encode_table(
 
 
 def _overapproximate(info: TableInfo, entry_count: int) -> TableAssignment:
-    """Map every control symbol of the table to `*any*` (a fresh symbol)."""
+    """Map every control symbol of the table to `*any*` (an unconstrained symbol).
+
+    The `*any*` symbols are *stable* — deterministic names, not fresh ones.
+    An unconstrained symbol's only meaning is "anything", so reuse is
+    semantically free, and it makes re-encoding an overapproximated table a
+    hash-consed no-op: the incremental pipeline sees the identical
+    assignment and invalidates nothing (overapproximated updates are O(1)
+    end to end, not just at encode time).
+    """
     mapping: dict[Term, Term] = {
-        info.selector_var: T.fresh_data_var(f"{info.name}.action!any", TableInfo.SELECTOR_WIDTH),
-        info.hit_var: T.fresh_data_var(f"{info.name}.hit!any", 1),
+        info.selector_var: T.data_var(f"{info.name}.action!any", TableInfo.SELECTOR_WIDTH),
+        info.hit_var: T.data_var(f"{info.name}.hit!any", 1),
     }
     for params in info.action_params.values():
         for param in params:
-            mapping[param.var] = T.fresh_data_var(f"{param.var.name}!any", param.width)
+            mapping[param.var] = T.data_var(f"{param.var.name}!any", param.width)
     return TableAssignment(
         table=info.name,
         mapping=mapping,

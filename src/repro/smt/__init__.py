@@ -13,7 +13,13 @@ Public surface:
 
 from repro.smt.simplify import simplify
 from repro.smt.solver import SatResult, Solver, SolverStats
-from repro.smt.substitute import Substitution, substitute, substitute_names
+from repro.smt.substitute import (
+    DeltaSubstitution,
+    Substitution,
+    substitute,
+    substitute_names,
+    variable_dependencies,
+)
 from repro.smt.terms import (
     FALSE,
     TRUE,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ir.metrics import CacheCounter
 from repro.smt import terms as T
 from repro.smt.sat import SatSolver
 from repro.smt.terms import Term
@@ -286,6 +287,148 @@ class BitBlaster:
             zero = self.false_lit()
             current = [self._mux_gate(any_high, zero, c) for c in current]
         return current
+
+
+class _Fragment:
+    """The Tseitin cone of one term: its own gate clauses + child cones."""
+
+    __slots__ = ("clauses", "children", "out")
+
+    def __init__(self) -> None:
+        self.clauses: list[list[int]] = []
+        self.children: list["_Fragment"] = []
+        self.out = None  # literal (bool terms) or literal vector (bv terms)
+
+
+class _FragmentSink:
+    """Duck-typed stand-in for :class:`SatSolver` during shared encoding.
+
+    Allocates variables from a process-stable counter and routes emitted
+    clauses to the fragment currently being encoded (``owner._sink``).
+    """
+
+    def __init__(self, owner: "FragmentBitBlaster") -> None:
+        self._owner = owner
+        self._num_vars = 0
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, lits) -> None:
+        self._owner._record(list(lits))
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+
+class FragmentBitBlaster(BitBlaster):
+    """A bit-blaster whose encodings persist *across* queries.
+
+    The plain :class:`BitBlaster` memoizes per-solver-instance: a fresh
+    query pays the full Tseitin cost again even for subterms it has
+    already encoded.  This subclass records, per hash-consed term, the
+    CNF *fragment* the term contributed (its own gate clauses plus
+    references to its children's fragments) against a global variable
+    numbering.  A query then only encodes the subterms it has never seen
+    — bit-blasting cost scales with the delta — and replays the root's
+    cone of clauses into a throw-away solver via :meth:`cone_clauses`.
+
+    Cones stay dense: solving a small query never drags in clauses from
+    unrelated earlier queries, so DPLL budgets behave exactly as they
+    would with a fresh encoding.
+    """
+
+    def __init__(self, counter: Optional[CacheCounter] = None) -> None:
+        super().__init__(solver=_FragmentSink(self))
+        self.counter = counter if counter is not None else CacheCounter("cnf")
+        self._stack: list[_Fragment] = []
+        self._bool_frags: dict[Term, _Fragment] = {}
+        self._bv_frags: dict[Term, _Fragment] = {}
+        # The shared true-literal and its defining clause live in a
+        # preamble included in every cone (a plain BitBlaster would emit
+        # it inside whichever fragment happened to be open first).
+        self._true_lit = self.solver.new_var()
+        self._preamble: list[list[int]] = [[self._true_lit]]
+
+    @property
+    def var_count(self) -> int:
+        return self.solver.num_vars
+
+    def _record(self, clause: list[int]) -> None:
+        if self._stack:
+            self._stack[-1].clauses.append(clause)
+        else:
+            self._preamble.append(clause)
+
+    def _encode_fragment(self, term: Term, cache: dict, encode_node):
+        frag = cache.get(term)
+        if frag is not None:
+            self.counter.hit()
+            if self._stack:
+                self._stack[-1].children.append(frag)
+            return frag.out
+        self.counter.miss()
+        frag = _Fragment()
+        if self._stack:
+            self._stack[-1].children.append(frag)
+        self._stack.append(frag)
+        try:
+            frag.out = encode_node(term)
+        finally:
+            self._stack.pop()
+        cache[term] = frag
+        return frag.out
+
+    def encode_bool(self, term: Term) -> int:
+        if not term.is_bool:
+            raise T.SortError("encode_bool expects a boolean term")
+        return self._encode_fragment(term, self._bool_frags, self._encode_bool_node)
+
+    def encode_bv(self, term: Term) -> list[int]:
+        if not term.is_bv:
+            raise T.SortError("encode_bv expects a bitvector term")
+        bits = self._encode_fragment(term, self._bv_frags, self._encode_bv_node)
+        if len(bits) != term.width:
+            raise AssertionError(
+                f"blasted {term.op} to {len(bits)} bits, expected {term.width}"
+            )
+        return bits
+
+    def cone_clauses(self, term: Term) -> list[list[int]]:
+        """All clauses (global numbering) in the Tseitin cone of ``term``."""
+        frag = self._bool_frags.get(term) if term.is_bool else self._bv_frags.get(term)
+        if frag is None:
+            raise KeyError(f"term has not been encoded: {term!r}")
+        clauses = list(self._preamble)
+        seen: set[int] = set()
+        stack = [frag]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            clauses.extend(node.clauses)
+            stack.extend(node.children)
+        return clauses
+
+    def decode_model(self, term: Term, model: dict[int, bool]) -> dict[str, int]:
+        """Values for ``term``'s variables under a global-numbered model."""
+        values: dict[str, int] = {}
+        for var in T.variables(term):
+            if var.is_bool:
+                lit = self._bool_vars.get(var.name)
+                values[var.name] = int(model.get(lit, False)) if lit else 0
+                continue
+            bits = self._var_bits.get(var.name)
+            if bits is None:
+                values[var.name] = 0
+                continue
+            values[var.name] = sum(
+                (1 << i) for i, lit in enumerate(bits) if model.get(lit, False)
+            )
+        return values
 
 
 def assert_term(blaster: BitBlaster, term: Term) -> None:

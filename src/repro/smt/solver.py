@@ -6,15 +6,25 @@ within its ~100 ms budget (§4.1):
 1. algebraic simplification (often decides the query outright),
 2. interval abstract interpretation (cheap sound pre-check),
 3. bit-blasting + DPLL (complete, used only when the fast paths punt).
+
+Two cross-update caches sit on top (the "Once" cost paid once):
+
+* a **result memo** keyed on the hash-consed simplified term — identical
+  residual terms across updates never reach the DPLL loop twice, and
+* a **CNF fragment cache** (:class:`~repro.smt.cnf.FragmentBitBlaster`)
+  that reuses Tseitin encodings of shared subterms across queries, so
+  bit-blasting cost scales with the delta rather than the full expression.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
+from repro.ir.metrics import CacheCounter
 from repro.smt import interval, sat, terms as T
-from repro.smt.cnf import BitBlaster, assert_term, model_values
+from repro.smt.cnf import BitBlaster, FragmentBitBlaster, assert_term, model_values
+from repro.smt.sat import SatSolver
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
 
@@ -26,10 +36,11 @@ class SolverStats:
     by_simplify: int = 0
     by_interval: int = 0
     by_sat: int = 0
+    by_cache: int = 0  # answered from the cross-update result memo
 
     @property
     def total(self) -> int:
-        return self.by_simplify + self.by_interval + self.by_sat
+        return self.by_simplify + self.by_interval + self.by_sat + self.by_cache
 
 
 @dataclass
@@ -43,14 +54,33 @@ class SatResult:
 class Solver:
     """Decides satisfiability/validity of boolean terms over bitvectors."""
 
+    #: Reset the shared encoder past this many allocated SAT variables —
+    #: a generation bump that bounds fragment-cache memory.  The result
+    #: memo survives resets (its entries stay correct forever).
+    ENCODER_VAR_LIMIT = 500_000
+
     def __init__(
         self,
         use_interval_precheck: bool = True,
         max_decisions: Optional[int] = 2_000_000,
+        share_encodings: bool = True,
     ) -> None:
         self.use_interval_precheck = use_interval_precheck
         self.max_decisions = max_decisions
+        self.share_encodings = share_encodings
         self.stats = SolverStats()
+        self.cache_counter = CacheCounter("solver-memo")
+        self.cnf_counter = CacheCounter("cnf-fragments")
+        self.generation = 0
+        self._results: dict[Term, SatResult] = {}
+        self._encoder = FragmentBitBlaster(self.cnf_counter)
+
+    def invalidate_caches(self) -> None:
+        """Drop the result memo and fragment cache (generation bump)."""
+        self.generation += 1
+        self.cache_counter.invalidate(len(self._results))
+        self._results.clear()
+        self._encoder = FragmentBitBlaster(self.cnf_counter)
 
     def check_sat(self, term: Term) -> SatResult:
         """Is there an assignment making ``term`` true?"""
@@ -60,22 +90,68 @@ class Solver:
         if simplified.op == T.OP_BOOLCONST:
             self.stats.by_simplify += 1
             return SatResult(bool(simplified.payload), {} if simplified.payload else None)
+        cached = self._results.get(simplified)
+        if cached is not None:
+            self.stats.by_cache += 1
+            self.cache_counter.hit()
+            return cached
+        self.cache_counter.miss()
         if self.use_interval_precheck:
             verdict = interval.eval_bool(simplified)
             if verdict == interval.DEFINITELY_FALSE:
                 self.stats.by_interval += 1
-                return SatResult(False)
+                result = SatResult(False)
+                self._results[simplified] = result
+                return result
             # DEFINITELY_TRUE means *every* assignment satisfies it → SAT.
             if verdict == interval.DEFINITELY_TRUE:
                 self.stats.by_interval += 1
-                return SatResult(True, {})
+                result = SatResult(True, {})
+                self._results[simplified] = result
+                return result
         self.stats.by_sat += 1
-        blaster = BitBlaster()
-        assert_term(blaster, simplified)
-        outcome = blaster.solver.solve(max_decisions=self.max_decisions)
+        result = self._check_sat_blasted(simplified)
+        # A blown decision budget raises out of the call above and is
+        # deliberately *not* cached: a later query under a bigger budget
+        # must be free to try again.
+        self._results[simplified] = result
+        return result
+
+    def _check_sat_blasted(self, simplified: Term) -> SatResult:
+        if not self.share_encodings:
+            blaster = BitBlaster()
+            assert_term(blaster, simplified)
+            outcome = blaster.solver.solve(max_decisions=self.max_decisions)
+            if outcome == sat.UNSAT:
+                return SatResult(False)
+            return SatResult(True, model_values(blaster, simplified))
+        if self._encoder.var_count > self.ENCODER_VAR_LIMIT:
+            self.cnf_counter.invalidate()
+            self._encoder = FragmentBitBlaster(self.cnf_counter)
+        encoder = self._encoder
+        root = encoder.encode_bool(simplified)
+        # Replay the root's cone into a throw-away solver with a dense
+        # local numbering, so search cost stays proportional to the cone.
+        solver = SatSolver()
+        local: dict[int, int] = {}
+
+        def localize(lit: int) -> int:
+            var = lit if lit > 0 else -lit
+            mapped = local.get(var)
+            if mapped is None:
+                mapped = solver.new_var()
+                local[var] = mapped
+            return mapped if lit > 0 else -mapped
+
+        for clause in encoder.cone_clauses(simplified):
+            solver.add_clause([localize(lit) for lit in clause])
+        solver.add_clause([localize(root)])
+        outcome = solver.solve(max_decisions=self.max_decisions)
         if outcome == sat.UNSAT:
             return SatResult(False)
-        return SatResult(True, model_values(blaster, simplified))
+        model = solver.model() or {}
+        global_model = {var: model.get(mapped, False) for var, mapped in local.items()}
+        return SatResult(True, encoder.decode_model(simplified, global_model))
 
     def is_valid(self, term: Term) -> bool:
         """Does ``term`` hold under every assignment?"""

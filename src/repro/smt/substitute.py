@@ -12,9 +12,52 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from repro.ir.metrics import CacheCounter
 from repro.smt import terms as T
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
+
+#: Process-wide memo: term → frozenset of variable names occurring in it.
+#: Pure function of the (immutable) term, shared across all substitutions;
+#: keyed on the Term itself so the cache owns strong references.
+_VAR_DEPS: dict[Term, frozenset] = {}
+
+_EMPTY_DEPS: frozenset = frozenset()
+
+
+def variable_dependencies(term: Term) -> frozenset:
+    """Names of all variable leaves reachable from ``term`` (memoized).
+
+    This is the dependency oracle behind delta substitution: a memoized
+    substitution result for ``term`` only goes stale when the mapping of
+    one of these names changes.
+    """
+    cached = _VAR_DEPS.get(term)
+    if cached is not None:
+        return cached
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in _VAR_DEPS:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.args:
+                if child not in _VAR_DEPS:
+                    stack.append((child, False))
+            continue
+        if node.is_var:
+            deps: frozenset = frozenset((node.payload,))
+        elif not node.args:
+            deps = _EMPTY_DEPS
+        else:
+            child_deps = [_VAR_DEPS[arg] for arg in node.args]
+            deps = child_deps[0]
+            for extra in child_deps[1:]:
+                if not (extra <= deps):
+                    deps = deps | extra
+        _VAR_DEPS[node] = deps
+    return _VAR_DEPS[term]
 
 
 class Substitution:
@@ -59,6 +102,122 @@ class Substitution:
                 continue
             new_args = tuple(memo[id(child)] for child in node.args)
             memo[id(node)] = _rebuild_with_args(node, new_args)
+        return memo[id(term)]
+
+
+class DeltaSubstitution:
+    """A long-lived substitution whose memo survives mapping updates.
+
+    This is the cross-update reuse layer of the incremental pipeline
+    (the "Once" cost paid once): one instance lives for the lifetime of an
+    :class:`~repro.core.incremental.IncrementalSpecializer`, and a
+    control-plane update only invalidates the memo entries whose subterm
+    mentions a control symbol whose assignment actually changed.  All
+    other entries — in practice the overwhelming majority of every program
+    point's DAG — are reused by identity.
+
+    Internally the memo (``id(term) → substituted term``) is paired with a
+    dependency index (``variable name → ids of memo entries that mention
+    it``) built from :func:`variable_dependencies` during :meth:`apply`.
+    :meth:`set_many` diffs the new assignments against the old ones by
+    term identity (hash-consing makes semantically-identical re-encodings
+    the same object) and drops exactly the dependent entries.
+
+    The memo keys ids of interned terms; the mapping dict itself keys
+    :class:`Term` objects, so every keyed term is strongly referenced
+    either here or by its factory (see the interning invariant in
+    :mod:`repro.smt.terms`).
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping[Term, Term],
+        counter: Optional[CacheCounter] = None,
+    ) -> None:
+        self.counter = counter if counter is not None else CacheCounter("substitution")
+        self._mapping: dict[Term, Term] = {}
+        self._memo: dict[int, Term] = {}
+        self._index: dict[str, set[int]] = {}
+        self.set_many(mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    @staticmethod
+    def _check(var: Term, replacement: Term) -> None:
+        if not var.is_var:
+            raise T.SortError(f"substitution key {var!r} is not a variable")
+        if var.width != replacement.width:
+            raise T.SortError(
+                f"substituting {replacement!r} (width {replacement.width}) "
+                f"for {var!r} (width {var.width})"
+            )
+
+    def set_many(self, mapping: Mapping[Term, Term]) -> int:
+        """Install new assignments; returns the number of memo entries dropped.
+
+        Assignments identical (by term identity) to the current ones are
+        no-ops — the common case when an overapproximated table is
+        re-encoded, or a batch re-touches an unchanged table — so a
+        forwarded update stream invalidates nothing.
+        """
+        changed_names: list[str] = []
+        changed_vars: list[Term] = []
+        for var, replacement in mapping.items():
+            self._check(var, replacement)
+            if self._mapping.get(var) is replacement:
+                continue
+            self._mapping[var] = replacement
+            changed_vars.append(var)
+            changed_names.append(var.payload)
+        stale: set[int] = set()
+        for name in changed_names:
+            stale |= self._index.pop(name, set())
+        memo = self._memo
+        dropped = 0
+        for term_id in stale:
+            if memo.pop(term_id, None) is not None:
+                dropped += 1
+        # (Re-)seed the memo with the variables' own entries last, so the
+        # invalidation sweep above cannot clobber a fresh assignment.
+        for var in changed_vars:
+            memo[id(var)] = self._mapping[var]
+            self._index.setdefault(var.payload, set()).add(id(var))
+        self.counter.invalidate(dropped)
+        return dropped
+
+    def apply(self, term: Term) -> Term:
+        """Replace mapped variables throughout ``term`` (no simplification)."""
+        memo = self._memo
+        index = self._index
+        if id(term) in memo:
+            self.counter.hit()
+            return memo[id(term)]
+        self.counter.miss()
+        stack: list[tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in memo:
+                continue
+            if not node.args:
+                memo[id(node)] = node
+                if node.is_var:
+                    index.setdefault(node.payload, set()).add(id(node))
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    if id(child) not in memo:
+                        stack.append((child, False))
+                continue
+            new_args = tuple(memo[id(child)] for child in node.args)
+            memo[id(node)] = _rebuild_with_args(node, new_args)
+            for name in variable_dependencies(node):
+                index.setdefault(name, set()).add(id(node))
         return memo[id(term)]
 
 

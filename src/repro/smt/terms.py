@@ -11,6 +11,19 @@ This module is the reproduction's stand-in for Z3's AST layer.  Flay builds
 Terms are immutable and *hash-consed*: building the same term twice yields
 the same object, so structural equality is identity (``is``) and memoized
 passes key on ``id()``.  All bitvector arithmetic is unsigned modulo 2**width.
+
+**Interning invariant (load-bearing for every ``id()``-keyed memo).**  A
+:class:`TermFactory` holds a *strong* reference to every term it ever
+built, for the lifetime of the factory; the shared :data:`DEFAULT_FACTORY`
+is module-level and therefore immortal.  Consequently a term built through
+the module-level constructors is never garbage-collected, its ``id()`` is
+stable for the life of the process, and a memo keyed on ``id(term)`` can
+never alias a recycled address.  The cross-update caches (delta
+substitution, simplify memos, solver verdict cache, CNF fragments) rely on
+this; ``tests/smt/test_interning.py`` is the regression test.  Caches keyed
+directly on :class:`Term` objects (hash is precomputed, equality short-cuts
+on identity) additionally hold their own strong references and are safe
+even for terms from short-lived private factories.
 """
 
 from __future__ import annotations
@@ -412,18 +425,46 @@ def dag_size(term: Term) -> int:
     return sum(1 for _ in iter_dag(term))
 
 
+#: Process-wide tree-size memo.  Keyed on the Term itself (not ``id``) so
+#: the cache holds strong references to its keys; terms are immutable, so
+#: entries are valid forever.  The executability budget check consults
+#: ``tree_size`` on the same large residual DAGs on every update — this
+#: memo makes the repeat checks O(1).
+_TREE_SIZE_MEMO: dict["Term", int] = {}
+
+
 def tree_size(term: Term, _memo: Optional[dict[int, int]] = None) -> int:
     """Number of nodes counting shared subterms once per occurrence.
 
     This is the "expression complexity" metric the paper blames for
     slowdowns with large tables: nesting makes the *tree* explode even when
-    the DAG stays small.
+    the DAG stays small.  Results are memoized process-wide; pass an
+    explicit ``_memo`` (keyed on ``id``) to bypass the shared cache.
     """
-    memo = _memo if _memo is not None else {}
-    for node in iter_dag(term):  # post-order: children first
-        if id(node) not in memo:
-            memo[id(node)] = 1 + sum(memo[id(arg)] for arg in node.args)
-    return memo[id(term)]
+    if _memo is not None:
+        for node in iter_dag(term):  # post-order: children first
+            if id(node) not in _memo:
+                _memo[id(node)] = 1 + sum(_memo[id(arg)] for arg in node.args)
+        return _memo[id(term)]
+    memo = _TREE_SIZE_MEMO
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    # Post-order walk that treats already-memoized subterms as leaves, so
+    # an incremental update only pays for its delta layer.
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in memo:
+            continue
+        if expanded:
+            memo[node] = 1 + sum(memo[arg] for arg in node.args)
+        else:
+            stack.append((node, True))
+            for child in node.args:
+                if child not in memo:
+                    stack.append((child, False))
+    return memo[term]
 
 
 # ---------------------------------------------------------------------------

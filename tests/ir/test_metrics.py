@@ -104,3 +104,78 @@ class TestCorpusShape:
     def test_sketches_are_small(self):
         for name in ("beaucoup", "accturbo", "dta"):
             assert measure(registry.load(name)).statements < 100
+
+
+class TestCacheCounters:
+    def test_counter_accumulates_and_rates(self):
+        from repro.ir import CacheCounter
+
+        counter = CacheCounter("demo")
+        counter.hit(3)
+        counter.miss()
+        counter.invalidate(2)
+        assert counter.lookups == 4
+        assert counter.hit_rate == 0.75
+        assert counter.invalidations == 2
+        assert "demo" in counter.describe()
+
+    def test_snapshot_and_since_give_deltas(self):
+        from repro.ir import CacheCounter
+
+        counter = CacheCounter("demo", hits=10, misses=5, invalidations=1)
+        baseline = counter.snapshot()
+        counter.hit(4)
+        counter.miss(2)
+        delta = counter.since(baseline)
+        assert (delta.hits, delta.misses, delta.invalidations) == (4, 2, 0)
+        # The snapshot is frozen: mutating the live counter left it alone.
+        assert baseline.hits == 10
+
+    def test_report_aggregates_and_describes(self):
+        from repro.ir import CacheCounter, CacheReport
+
+        report = CacheReport()
+        report.add(CacheCounter("a", hits=2, misses=1))
+        report.add(CacheCounter("b", hits=3, misses=0, invalidations=4))
+        assert report.total_hits == 5
+        assert report.total_misses == 1
+        assert report.total_invalidations == 4
+        assert report.get("b").hits == 3
+        text = report.describe()
+        assert "a" in text and "b" in text and "total" in text
+
+
+class TestPipelineCacheStats:
+    def test_warm_update_stream_reports_hits(self):
+        from repro.core.incremental import IncrementalSpecializer
+        from repro.runtime.entries import TableEntry, TernaryMatch
+        from repro.runtime.semantics import INSERT, Update
+
+        source = _program(
+            "t.apply();",
+            locals_="""
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+""",
+        )
+        runtime = IncrementalSpecializer(parse_program(source))
+        for i in range(1, 6):
+            entry = TableEntry((TernaryMatch(i, 0xFF),), "set", (i,), i)
+            runtime.process_update(Update("t", INSERT, entry))
+        report = runtime.cache_stats()
+        names = [c.name for c in report.counters]
+        assert names == [
+            "substitution",
+            "executability",
+            "solver-memo",
+            "cnf-fragments",
+            "active-entries",
+        ]
+        assert report.get("substitution").hits > 0
+        assert report.get("active-entries").hits > 0
+        assert report.total_hits > 0

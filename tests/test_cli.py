@@ -65,6 +65,30 @@ def test_specialize_with_config(tmp_path, capsys):
     parse_program(text)
 
 
+def test_specialize_stats_prints_cache_counters(tmp_path, capsys):
+    config = {
+        "tables": {
+            "Fig3Ingress.eth_table": [
+                {
+                    "match": [{"ternary": ["0x2", "0xFFFFFFFFFFFF"]}],
+                    "action": "set",
+                    "args": ["0x900"],
+                    "priority": 10,
+                }
+            ]
+        }
+    }
+    config_path = tmp_path / "cfg.json"
+    config_path.write_text(json.dumps(config))
+    assert main([
+        "specialize", "corpus:fig3", "--config", str(config_path), "--stats",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "cache statistics" in err
+    for layer in ("substitution", "solver-memo", "cnf-fragments", "active-entries"):
+        assert layer in err
+
+
 def test_specialize_effort_none(capsys):
     assert main(["specialize", "corpus:fig3", "--effort", "none"]) == 0
     out = capsys.readouterr().out
