@@ -27,8 +27,8 @@ def corpus_programs():
     return {name: registry.load(name) for name in registry.CORPUS}
 
 
-def make_flay(program, **options) -> Flay:
-    return Flay(program, FlayOptions(target="none", **options))
+def make_flay(program, bus=None, **options) -> Flay:
+    return Flay(program, FlayOptions(target="none", **options), bus=bus)
 
 
 def representative_config(flay: Flay, tables, seed: int = 7):

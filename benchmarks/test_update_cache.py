@@ -13,6 +13,7 @@ memo answering at a 100% hit rate.
 import time
 
 from conftest import heading, make_flay
+from repro.engine import EventBus, UpdateProcessed
 from repro.runtime.fuzzer import EntryFuzzer
 from repro.runtime.semantics import DELETE, INSERT, Update
 
@@ -22,7 +23,9 @@ FLAPS = 3
 
 
 def test_flap_workload_cache_hits(benchmark, corpus_programs):
-    flay = make_flay(corpus_programs["middleblock"])
+    bus = EventBus()
+    log = bus.attach_log()
+    flay = make_flay(corpus_programs["middleblock"], bus=bus)
     fuzzer = EntryFuzzer(flay.model, seed=3)
     entries = fuzzer.unique_entries(TABLE, ENTRIES)
 
@@ -42,13 +45,19 @@ def test_flap_workload_cache_hits(benchmark, corpus_programs):
     warm_ms = cold_ms and (flay.runtime.mean_update_ms() * 2 * ENTRIES)
 
     stats = flay.cache_stats()
+    outcomes = log.of_type(UpdateProcessed)
+    forwarded = sum(1 for o in outcomes if o.forwarded)
     heading("Update cache: flap workload (middleblock port profile)")
     print(stats.describe())
     print(
         f"cold install: {cold_ms:.1f} ms for {ENTRIES} updates; "
         f"mean warm flap cycle ≈ {warm_ms:.1f} ms"
     )
+    print(f"outcomes: {forwarded}/{len(outcomes)} forwarded")
     benchmark.extra_info["cold_install_ms"] = round(cold_ms, 2)
+
+    # The engine reported every update on the event bus.
+    assert len(outcomes) == ENTRIES + FLAPS * 2 * ENTRIES
 
     # Every cache layer must be absorbing repeated work.
     assert stats.get("substitution").hits > 0

@@ -19,11 +19,14 @@ import sys
 
 from repro.analysis import analyze
 from repro.core import Flay, FlayOptions
+from repro.engine.events import EventBus
+from repro.errors import FlayError
 from repro.ir import measure
 from repro.p4.parser import parse_program
 from repro.p4.printer import print_program
 from repro.runtime import config as config_mod
 from repro.smt import to_string
+from repro.targets.base import available_targets, create_target
 
 
 def _load_program(path: str):
@@ -69,17 +72,20 @@ def cmd_analyze(args) -> int:
 def cmd_specialize(args) -> int:
     program = _load_program(args.program)
     options = FlayOptions(
-        target="none",
+        target=args.target,
         skip_parser=args.skip_parser,
         effort=args.effort,
     )
-    flay = Flay(program, options)
+    bus = EventBus()
+    log = bus.attach_log() if args.stats else None
+    flay = Flay(program, options, bus=bus)
     if args.config:
         configuration = config_mod.load(args.config)
         decision = flay.process_batch(configuration.updates())
         print(f"# config: {decision.describe()}", file=sys.stderr)
     print(f"# specializations: {flay.report.summary()}", file=sys.stderr)
     if args.stats:
+        print(f"# pipeline events: {log.summary()}", file=sys.stderr)
         print("# cache statistics:", file=sys.stderr)
         for line in flay.cache_stats().describe().splitlines():
             print(f"#   {line}", file=sys.stderr)
@@ -94,23 +100,22 @@ def cmd_specialize(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    # Resolve the backend before parsing the program: an unknown --target
+    # fails immediately with the registered names.
+    target = create_target(args.target, program_name=args.program)
+    if target is None:
+        print(f"nothing to do: --target {args.target}", file=sys.stderr)
+        return 0
     program = _load_program(args.program)
-    if args.target == "tofino":
-        from repro.targets.tofino import TofinoCompiler
-
-        report = TofinoCompiler(program_name=args.program).compile(program)
-        print(report.describe())
-        if args.stages:
-            for stage in report.resources.stage_usages:
-                names = ", ".join(stage.tables[:6])
-                more = "..." if len(stage.tables) > 6 else ""
-                print(f"  stage {stage.index:>2}: {stage.table_count} tables, "
-                      f"{stage.gateways} gateways — {names}{more}")
-    else:
-        from repro.targets.bmv2 import Bmv2Compiler
-
-        report = Bmv2Compiler(program_name=args.program).compile(program)
-        print(report.describe())
+    report = target.compile(program)
+    print(report.describe())
+    resources = getattr(report, "resources", None)
+    if args.stages and resources is not None:
+        for stage in resources.stage_usages:
+            names = ", ".join(stage.tables[:6])
+            more = "..." if len(stage.tables) > 6 else ""
+            print(f"  stage {stage.index:>2}: {stage.table_count} tables, "
+                  f"{stage.gateways} gateways — {names}{more}")
     return 0
 
 
@@ -159,13 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument(
         "--stats",
         action="store_true",
-        help="print evaluation-cache hit/miss statistics to stderr",
+        help="print pipeline events and cache hit/miss statistics to stderr",
+    )
+    p_spec.add_argument(
+        "--target",
+        default="none",
+        help=f"device backend: {', '.join(available_targets())}, or none",
     )
     p_spec.set_defaults(func=cmd_specialize)
 
     p_compile = sub.add_parser("compile", help="device-compile a program")
     p_compile.add_argument("program")
-    p_compile.add_argument("--target", choices=("tofino", "bmv2"), default="tofino")
+    p_compile.add_argument(
+        "--target",
+        default="tofino",
+        help=f"device backend: {', '.join(available_targets())}",
+    )
     p_compile.add_argument("--stages", action="store_true", help="per-stage detail")
     p_compile.set_defaults(func=cmd_compile)
 
@@ -178,7 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FlayError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

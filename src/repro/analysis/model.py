@@ -13,8 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.errors import FlayError, STAGE_RUNTIME
 from repro.smt import terms as T
 from repro.smt.terms import Term
+
+
+class UnknownTableError(FlayError, KeyError):
+    """A control-plane name does not resolve to a table or value set."""
+
+    default_stage = STAGE_RUNTIME
+
 
 # Program point kinds.
 KIND_IF = "if"
@@ -151,8 +159,10 @@ class DataPlaneModel:
         if len(matches) == 1:
             return matches[0]
         if not matches:
-            raise KeyError(f"no table named {name!r}")
-        raise KeyError(f"table name {name!r} is ambiguous: {[t.name for t in matches]}")
+            raise UnknownTableError(f"no table named {name!r}")
+        raise UnknownTableError(
+            f"table name {name!r} is ambiguous: {[t.name for t in matches]}"
+        )
 
     def value_set(self, name: str) -> ValueSetInfo:
         if name in self.value_sets:
@@ -160,7 +170,7 @@ class DataPlaneModel:
         matches = [v for v in self.value_sets.values() if v.local_name == name]
         if len(matches) == 1:
             return matches[0]
-        raise KeyError(f"no value set named {name!r}")
+        raise UnknownTableError(f"no value set named {name!r}")
 
     @property
     def point_count(self) -> int:

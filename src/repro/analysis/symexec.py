@@ -27,6 +27,7 @@ from repro.analysis.model import (
     ValueSetInfo,
 )
 from repro.analysis.state import SymbolicStore, merge_stores
+from repro.errors import STAGE_ANALYSIS
 from repro.p4 import ast_nodes as ast
 from repro.p4.errors import TypeCheckError
 from repro.p4.types import TypeEnv, eval_const_expr, lvalue_path
@@ -45,6 +46,8 @@ _MAX_PARSER_DEPTH = 64
 
 class AnalysisError(TypeCheckError):
     """The program uses a construct the analysis cannot model."""
+
+    default_stage = STAGE_ANALYSIS
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Flay core: queries, specializer, incremental pipeline, facade."""
+"""Flay core: the public facade over the :mod:`repro.engine` pipeline."""
 
 from repro.core.flay import Flay, FlayOptions, FlayTimings
 from repro.core.incremental import (
@@ -21,3 +21,4 @@ from repro.core.specializer import (
     SpecializationReport,
     Specializer,
 )
+from repro.errors import FlayError

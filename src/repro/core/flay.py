@@ -7,125 +7,81 @@ Typical use::
     flay = Flay.from_source(p4_source, FlayOptions(target="tofino"))
     decision = flay.process_update(update)   # ~ms: forward or recompile
     print(flay.specialized_source())
+
+The facade is a thin view over :class:`repro.engine.engine.Engine`, which
+runs the cold pipeline (parse → typecheck → analyze → encode → specialize
+→ lower) at construction and the warm per-update path for every call to
+``process_update``/``process_batch``.  Pass an
+:class:`~repro.engine.events.EventBus` via ``bus=`` to observe typed
+pipeline events (pass timings, cache activity, forward/recompile
+outcomes).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.incremental import (
-    BatchDecision,
-    IncrementalSpecializer,
-    UpdateDecision,
-)
+from repro.engine.context import EngineOptions, EngineTimings
+from repro.engine.engine import Engine
+from repro.engine.events import EventBus
+from repro.engine.pipeline import BatchDecision, UpdateDecision
 from repro.p4 import ast_nodes as ast
-from repro.p4.parser import parse_program
 from repro.p4.printer import print_program
-from repro.p4.types import TypeEnv
-from repro.runtime.semantics import (
-    DEFAULT_OVERAPPROX_THRESHOLD,
-    Update,
-    ValueSetUpdate,
-)
+from repro.runtime.semantics import Update, ValueSetUpdate
 
-
-@dataclass(frozen=True)
-class FlayOptions:
-    """Configuration knobs, mirroring the prototype's command line."""
-
-    skip_parser: bool = False  # §4.2: skip parser analysis for big programs
-    overapprox_threshold: Optional[int] = DEFAULT_OVERAPPROX_THRESHOLD
-    use_solver: bool = True  # allow SAT fallback for executability queries
-    prune_parser_tail: bool = True
-    target: str = "tofino"  # tofino | bmv2 | none
-    effort: str = "full"  # none | dce | full — specialization quality knob
-
-
-@dataclass
-class FlayTimings:
-    """The Table 2 measurement surface."""
-
-    parse_seconds: float = 0.0
-    data_plane_analysis_seconds: float = 0.0
-    initial_specialization_seconds: float = 0.0
-    update_ms: list = field(default_factory=list)
-
-    def mean_update_ms(self) -> float:
-        return sum(self.update_ms) / len(self.update_ms) if self.update_ms else 0.0
-
-    def max_update_ms(self) -> float:
-        return max(self.update_ms, default=0.0)
+#: The long-standing public names for the engine's option/timing records.
+FlayOptions = EngineOptions
+FlayTimings = EngineTimings
 
 
 class Flay:
     """Incremental specialization of one P4 program."""
 
     def __init__(
-        self, program: ast.Program, options: Optional[FlayOptions] = None
+        self,
+        program: Optional[ast.Program] = None,
+        options: Optional[FlayOptions] = None,
+        *,
+        source: Optional[str] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.options = options if options is not None else FlayOptions()
-        self.timings = FlayTimings()
-        self.env = TypeEnv(program)
-
-        start = time.perf_counter()
-        self.runtime = IncrementalSpecializer(
-            program,
-            env=self.env,
-            skip_parser=self.options.skip_parser,
-            overapprox_threshold=self.options.overapprox_threshold,
-            device_compiler=self._make_device_compiler(),
-            use_solver=self.options.use_solver,
-            prune_parser_tail=self.options.prune_parser_tail,
-            effort=self.options.effort,
-        )
-        total = time.perf_counter() - start
-        self.timings.data_plane_analysis_seconds = self.runtime.model.analysis_seconds
-        self.timings.initial_specialization_seconds = (
-            total - self.runtime.model.analysis_seconds
-        )
+        self.runtime = Engine(program, self.options, source=source, bus=bus)
 
     @classmethod
     def from_source(
-        cls, source: str, options: Optional[FlayOptions] = None
+        cls,
+        source: str,
+        options: Optional[FlayOptions] = None,
+        *,
+        bus: Optional[EventBus] = None,
     ) -> "Flay":
-        start = time.perf_counter()
-        program = parse_program(source)
-        flay = cls(program, options)
-        flay.timings.parse_seconds = time.perf_counter() - start
-        return flay
-
-    def _make_device_compiler(self):
-        target = (self.options or FlayOptions()).target
-        if target == "tofino":
-            from repro.targets.tofino.compiler import TofinoCompiler
-
-            return TofinoCompiler()
-        if target == "bmv2":
-            from repro.targets.bmv2.compiler import Bmv2Compiler
-
-            return Bmv2Compiler()
-        return None
+        return cls(None, options, source=source, bus=bus)
 
     # -- update path -----------------------------------------------------------
 
     def process_update(self, update: Update) -> UpdateDecision:
-        decision = self.runtime.process_update(update)
-        self.timings.update_ms.append(decision.elapsed_ms)
-        return decision
+        return self.runtime.process_update(update)
 
     def process_value_set_update(self, update: ValueSetUpdate) -> UpdateDecision:
-        decision = self.runtime.process_value_set_update(update)
-        self.timings.update_ms.append(decision.elapsed_ms)
-        return decision
+        return self.runtime.process_value_set_update(update)
 
     def process_batch(self, updates: list) -> BatchDecision:
-        decision = self.runtime.process_batch(updates)
-        self.timings.update_ms.append(decision.elapsed_ms)
-        return decision
+        return self.runtime.process_batch(updates)
 
     # -- results ------------------------------------------------------------------
+
+    @property
+    def timings(self) -> FlayTimings:
+        return self.runtime.timings
+
+    @property
+    def env(self):
+        return self.runtime.env
+
+    @property
+    def events(self) -> EventBus:
+        return self.runtime.events
 
     @property
     def model(self):

@@ -5,85 +5,34 @@ symbols ("taint"), (2) find the affected program points via the taint map,
 (3) recompute the specialization verdicts for exactly those points, and
 (4) forward the update untouched when no verdict changed — otherwise
 respecialize and hand the result to the device compiler.
+
+The implementation lives in :mod:`repro.engine`: the steps above are the
+declared warm pass sequence run by :class:`~repro.engine.engine.Engine`.
+``IncrementalSpecializer`` is the historical name and constructor,
+preserved for every caller that predates the engine.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.analysis.model import DataPlaneModel
-from repro.analysis.symexec import analyze
-from repro.core.queries import PointVerdict, QueryEngine, TableVerdict
-from repro.core.specializer import SpecializationReport, Specializer
-from repro.ir.metrics import CacheReport
+from repro.engine.context import EngineOptions
+from repro.engine.engine import Engine
+from repro.engine.pipeline import BatchDecision, UpdateDecision
 from repro.p4 import ast_nodes as ast
 from repro.p4.types import TypeEnv
-from repro.runtime.semantics import (
-    DEFAULT_OVERAPPROX_THRESHOLD,
-    ControlPlaneState,
-    Update,
-    ValueSetUpdate,
-    encode_table,
-    encode_value_set,
-)
-from repro.smt import DeltaSubstitution
-from repro.smt.terms import Term
+from repro.runtime.semantics import DEFAULT_OVERAPPROX_THRESHOLD
+
+__all__ = ["BatchDecision", "IncrementalSpecializer", "UpdateDecision"]
 
 
-@dataclass
-class UpdateDecision:
-    """Outcome of processing one control-plane update."""
-
-    update: object
-    forwarded: bool  # sent to the device without recompilation
-    recompiled: bool
-    affected_points: int
-    changed: list  # pids / table names whose verdict changed
-    elapsed_ms: float
-    overapproximated: bool
-    compile_report: object = None
-
-    def describe(self) -> str:
-        action = "RECOMPILE" if self.recompiled else "forward"
-        mode = " (overapprox)" if self.overapproximated else ""
-        return (
-            f"{action}{mode}: {self.affected_points} points checked, "
-            f"{len(self.changed)} changed, {self.elapsed_ms:.2f} ms"
-        )
-
-
-@dataclass
-class BatchDecision:
-    """Outcome of processing a burst of updates as one unit."""
-
-    update_count: int
-    recompiled: bool
-    changed: list  # verdicts that changed (pids / table names)
-    affected_points: int
-    elapsed_ms: float
-    compile_report: object = None
-
-    @property
-    def updates(self) -> int:
-        return self.update_count
-
-    def describe(self) -> str:
-        action = "RECOMPILE" if self.recompiled else "forward"
-        return (
-            f"{action}: batch of {self.update_count} updates, "
-            f"{self.affected_points} points checked, "
-            f"{len(self.changed)} changed, {self.elapsed_ms:.1f} ms"
-        )
-
-
-class IncrementalSpecializer:
+class IncrementalSpecializer(Engine):
     """Flay's runtime: shim between the controller and the device.
 
     ``device_compiler`` is any object with a ``compile(program) -> report``
     method (e.g. :class:`repro.targets.tofino.TofinoCompiler`); it is only
-    invoked when respecialization is actually needed.
+    invoked when respecialization is actually needed.  This class maps the
+    pre-engine keyword surface onto :class:`~repro.engine.engine.Engine`.
     """
 
     def __init__(
@@ -97,255 +46,17 @@ class IncrementalSpecializer:
         prune_parser_tail: bool = True,
         effort: str = "full",
     ) -> None:
-        self.program = program
-        self.env = env if env is not None else TypeEnv(program)
-        self.threshold = overapprox_threshold
-        self.device_compiler = device_compiler
-
-        # One-time data-plane analysis (Fig. 4 "Once").
-        self.model: DataPlaneModel = analyze(
-            program, self.env, skip_parser=skip_parser
-        )
-        self.state = ControlPlaneState(self.model)
-        self.engine = QueryEngine(self.model, use_solver=use_solver)
-        self.specializer = Specializer(
-            program,
-            self.model,
-            self.env,
+        options = EngineOptions(
+            skip_parser=skip_parser,
+            overapprox_threshold=overapprox_threshold,
+            use_solver=use_solver,
             prune_parser_tail=prune_parser_tail,
+            target="none",
             effort=effort,
         )
-
-        self.mapping: dict[Term, Term] = {}
-        self.table_assignments = {}
-        self.point_verdicts: dict[str, PointVerdict] = {}
-        self.table_verdicts: dict[str, TableVerdict] = {}
-        self.update_log: list[UpdateDecision] = []
-        self.recompilations = 0
-        self.compile_reports: list = []
-
-        # One long-lived substitution whose memo survives across updates:
-        # an update only invalidates the memo entries that mention a
-        # control symbol whose assignment actually changed (delta
-        # substitution), so warm updates touch O(delta) of each point's DAG.
-        self.substitution = DeltaSubstitution({})
-
-        self._encode_initial()
-        self._evaluate_all_points()
-        self.specialized_program, self.report = self.specializer.specialize(
-            self.point_verdicts, self.table_verdicts
+        # The legacy constructor takes the compiler instance itself (None
+        # meaning "no device"), so pass it through verbatim rather than
+        # resolving options.target.
+        super().__init__(
+            program, options, env=env, device_compiler=device_compiler
         )
-        self._compile()
-
-    # -- initialization --------------------------------------------------------
-
-    def _encode_initial(self) -> None:
-        for name, info in self.model.tables.items():
-            assignment = encode_table(info, self.state.tables[name], self.threshold)
-            self.table_assignments[name] = assignment
-            self.mapping.update(assignment.mapping)
-            self.table_verdicts[name] = self.engine.table_verdict(
-                info, assignment, self.state.tables[name]
-            )
-        for name, info in self.model.value_sets.items():
-            self.mapping.update(
-                encode_value_set(info, self.state.value_sets[name])
-            )
-
-    def _evaluate_all_points(self) -> None:
-        self.substitution.set_many(self.mapping)
-        for pid, point in self.model.points.items():
-            self.point_verdicts[pid] = self.engine.point_verdict(
-                point, self.substitution
-            )
-
-    # -- update processing -------------------------------------------------------
-
-    def process_update(self, update: Update) -> UpdateDecision:
-        """The per-update fast path; aims for the paper's ~100 ms budget."""
-        start = time.perf_counter()
-        info = self.state.apply_update(update)
-        assignment = encode_table(
-            info, self.state.tables[info.name], self.threshold
-        )
-        self.table_assignments[info.name] = assignment
-        self.mapping.update(assignment.mapping)
-        self.substitution.set_many(assignment.mapping)
-
-        changed: list = []
-        affected = self.model.points_for_control_vars(info.control_var_names())
-        for pid in sorted(affected):
-            verdict = self.engine.point_verdict(
-                self.model.points[pid], self.substitution
-            )
-            if not verdict.same_specialization(self.point_verdicts[pid]):
-                changed.append(pid)
-            self.point_verdicts[pid] = verdict
-
-        table_verdict = self.engine.table_verdict(
-            info, assignment, self.state.tables[info.name]
-        )
-        if not table_verdict.same_specialization(self.table_verdicts[info.name]):
-            changed.append(info.name)
-        self.table_verdicts[info.name] = table_verdict
-
-        compile_report = None
-        if changed:
-            before = len(self.compile_reports)
-            self._respecialize()
-            if len(self.compile_reports) > before:
-                compile_report = self.compile_reports[-1]
-        decision = UpdateDecision(
-            update=update,
-            forwarded=not changed,
-            recompiled=bool(changed),
-            affected_points=len(affected),
-            changed=changed,
-            elapsed_ms=(time.perf_counter() - start) * 1000,
-            overapproximated=assignment.overapproximated,
-            compile_report=compile_report,
-        )
-        self.update_log.append(decision)
-        return decision
-
-    def process_value_set_update(self, update: ValueSetUpdate) -> UpdateDecision:
-        start = time.perf_counter()
-        info = self.state.apply_value_set_update(update)
-        mapping = encode_value_set(info, self.state.value_sets[info.name])
-        self.mapping.update(mapping)
-        self.substitution.set_many(mapping)
-
-        changed: list = []
-        affected = self.model.points_for_control_vars(info.control_var_names())
-        for pid in sorted(affected):
-            verdict = self.engine.point_verdict(
-                self.model.points[pid], self.substitution
-            )
-            if not verdict.same_specialization(self.point_verdicts[pid]):
-                changed.append(pid)
-            self.point_verdicts[pid] = verdict
-
-        compile_report = None
-        if changed:
-            before = len(self.compile_reports)
-            self._respecialize()
-            if len(self.compile_reports) > before:
-                compile_report = self.compile_reports[-1]
-        decision = UpdateDecision(
-            update=update,
-            forwarded=not changed,
-            recompiled=bool(changed),
-            affected_points=len(affected),
-            changed=changed,
-            elapsed_ms=(time.perf_counter() - start) * 1000,
-            overapproximated=False,
-            compile_report=compile_report,
-        )
-        self.update_log.append(decision)
-        return decision
-
-    def process_batch(self, updates: list) -> BatchDecision:
-        """Process a burst as one unit, respecializing at most once.
-
-        This is the §4.2 burst scenario: a thousand semantics-preserving
-        route insertions should be waved through with one decision.  The
-        batch path re-encodes each touched table *once* — not once per
-        update — so a 1000-entry burst into one table costs one encoding
-        plus one pass over the affected program points.
-        """
-        start = time.perf_counter()
-        touched_tables: set[str] = set()
-        touched_vars: set[str] = set()
-        for update in updates:
-            if isinstance(update, ValueSetUpdate):
-                info = self.state.apply_value_set_update(update)
-                vs_mapping = encode_value_set(info, self.state.value_sets[info.name])
-                self.mapping.update(vs_mapping)
-                self.substitution.set_many(vs_mapping)
-                touched_vars.update(info.control_var_names())
-            else:
-                info = self.state.apply_update(update)
-                touched_tables.add(info.name)
-                touched_vars.update(info.control_var_names())
-
-        changed: list = []
-        for name in sorted(touched_tables):
-            info = self.model.tables[name]
-            assignment = encode_table(info, self.state.tables[name], self.threshold)
-            self.table_assignments[name] = assignment
-            self.mapping.update(assignment.mapping)
-            self.substitution.set_many(assignment.mapping)
-            table_verdict = self.engine.table_verdict(
-                info, assignment, self.state.tables[name]
-            )
-            if not table_verdict.same_specialization(self.table_verdicts[name]):
-                changed.append(name)
-            self.table_verdicts[name] = table_verdict
-
-        affected = self.model.points_for_control_vars(touched_vars)
-        for pid in sorted(affected):
-            verdict = self.engine.point_verdict(
-                self.model.points[pid], self.substitution
-            )
-            if not verdict.same_specialization(self.point_verdicts[pid]):
-                changed.append(pid)
-            self.point_verdicts[pid] = verdict
-
-        compile_report = None
-        if changed:
-            before = len(self.compile_reports)
-            self._respecialize()
-            if len(self.compile_reports) > before:
-                compile_report = self.compile_reports[-1]
-        return BatchDecision(
-            update_count=len(updates),
-            recompiled=bool(changed),
-            changed=changed,
-            affected_points=len(affected),
-            elapsed_ms=(time.perf_counter() - start) * 1000,
-            compile_report=compile_report,
-        )
-
-    # -- respecialization ------------------------------------------------------------
-
-    _respecialize_on_change = True
-
-    def _respecialize(self) -> None:
-        if not self._respecialize_on_change:
-            return
-        self.specialized_program, self.report = self.specializer.specialize(
-            self.point_verdicts, self.table_verdicts
-        )
-        self.recompilations += 1
-        self._compile()
-
-    def _compile(self) -> None:
-        if self.device_compiler is None:
-            return
-        report = self.device_compiler.compile(self.specialized_program)
-        self.compile_reports.append(report)
-
-    # -- introspection -----------------------------------------------------------------
-
-    @property
-    def forwarded_count(self) -> int:
-        return sum(1 for d in self.update_log if d.forwarded)
-
-    @property
-    def recompiled_count(self) -> int:
-        return sum(1 for d in self.update_log if d.recompiled)
-
-    def mean_update_ms(self) -> float:
-        if not self.update_log:
-            return 0.0
-        return sum(d.elapsed_ms for d in self.update_log) / len(self.update_log)
-
-    def cache_stats(self) -> CacheReport:
-        """Hit/miss/invalidation counters for every cross-update cache layer."""
-        report = CacheReport()
-        report.add(self.substitution.counter)
-        report.add(self.engine.exec_counter)
-        report.add(self.engine.solver.cache_counter)
-        report.add(self.engine.solver.cnf_counter)
-        report.add(self.state.active_counter)
-        return report

@@ -1,0 +1,118 @@
+"""The shared state every pipeline pass reads and writes.
+
+Before this layer existed, the facade smuggled all of this through
+constructor arguments: ``Flay`` → ``IncrementalSpecializer`` →
+``analyze``/``Specializer``/``QueryEngine``.  Now one
+:class:`EngineContext` owns it — the hash-consing table, the long-lived
+:class:`~repro.smt.substitute.DeltaSubstitution`, the verdict/CNF caches,
+the timing and cache metrics, the solver budget, the target backend, and
+the event bus — and passes are plain functions over the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.events import EventBus
+from repro.runtime.semantics import DEFAULT_OVERAPPROX_THRESHOLD
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Configuration knobs, mirroring the prototype's command line.
+
+    Exported as ``FlayOptions`` from :mod:`repro.core` (the public name);
+    the definition lives here so the engine does not import the facade.
+    """
+
+    skip_parser: bool = False  # §4.2: skip parser analysis for big programs
+    overapprox_threshold: Optional[int] = DEFAULT_OVERAPPROX_THRESHOLD
+    use_solver: bool = True  # allow SAT fallback for executability queries
+    prune_parser_tail: bool = True
+    target: str = "tofino"  # any registered backend name, or "none"
+    effort: str = "full"  # none | dce | full — specialization quality knob
+    # Solver budget: None means the QueryEngine defaults.
+    solver_max_decisions: Optional[int] = None
+    solver_node_budget: Optional[int] = None
+
+
+@dataclass
+class EngineTimings:
+    """The Table 2 measurement surface (exported as ``FlayTimings``)."""
+
+    parse_seconds: float = 0.0
+    data_plane_analysis_seconds: float = 0.0
+    initial_specialization_seconds: float = 0.0
+    update_ms: list = field(default_factory=list)
+
+    def mean_update_ms(self) -> float:
+        return sum(self.update_ms) / len(self.update_ms) if self.update_ms else 0.0
+
+    def max_update_ms(self) -> float:
+        return max(self.update_ms, default=0.0)
+
+
+@dataclass(frozen=True)
+class SolverBudget:
+    """How much search a specialization query may spend before MAYBE."""
+
+    max_decisions: int
+    node_budget: int
+
+
+@dataclass
+class EngineContext:
+    """Everything the pipeline stages share.
+
+    Cold passes populate the fields top to bottom; the warm path mutates
+    the control-plane state, verdicts, and specialization result.  The
+    ``warm`` field holds per-run scratch (a ``WarmState``) while a warm
+    pipeline executes.
+    """
+
+    options: EngineOptions
+    bus: EventBus
+    # Front end.
+    source: Optional[str] = None
+    program: Optional[object] = None  # ast.Program
+    env: Optional[object] = None  # TypeEnv
+    # Analysis products.
+    model: Optional[object] = None  # DataPlaneModel
+    state: Optional[object] = None  # ControlPlaneState
+    query_engine: Optional[object] = None  # QueryEngine (verdict/CNF caches)
+    specializer: Optional[object] = None  # Specializer
+    solver_budget: Optional[SolverBudget] = None
+    # The interning table every id()-keyed memo relies on.
+    term_factory: Optional[object] = None  # TermFactory
+    # Control-plane encoding state (survives across updates).
+    substitution: Optional[object] = None  # DeltaSubstitution
+    mapping: dict = field(default_factory=dict)  # control symbol → term
+    table_assignments: dict = field(default_factory=dict)
+    # Current verdicts.
+    point_verdicts: dict = field(default_factory=dict)
+    table_verdicts: dict = field(default_factory=dict)
+    # Specialization result.
+    specialized_program: Optional[object] = None
+    report: Optional[object] = None  # SpecializationReport
+    # Target backend (a repro.targets.base.Target, or None).
+    target: Optional[object] = None
+    compile_reports: list = field(default_factory=list)
+    lowered_updates: list = field(default_factory=list)
+    # Bookkeeping.
+    timings: EngineTimings = field(default_factory=EngineTimings)
+    update_log: list = field(default_factory=list)
+    recompilations: int = 0
+    respecialize_on_change: bool = True
+    # Per-warm-run scratch (a pipeline.WarmState while a warm run executes).
+    warm: Optional[object] = None
+
+    def cache_counters(self) -> list:
+        """Every cross-update cache layer's counter, in report order."""
+        return [
+            self.substitution.counter,
+            self.query_engine.exec_counter,
+            self.query_engine.solver.cache_counter,
+            self.query_engine.solver.cnf_counter,
+            self.state.active_counter,
+        ]

@@ -1,0 +1,35 @@
+"""Engine-facing view of the structured error layer.
+
+The actual definitions live in the leaf module :mod:`repro.errors` (so the
+lowest layers can subclass :class:`FlayError` without import cycles); this
+module re-exports them under the engine namespace alongside the pipeline
+stage constants.
+"""
+
+from repro.errors import (
+    FlayError,
+    OptionsError,
+    SourcePos,
+    STAGE_ANALYSIS,
+    STAGE_INTERPRET,
+    STAGE_LOWER,
+    STAGE_PARSE,
+    STAGE_QUERY,
+    STAGE_RUNTIME,
+    STAGE_SPECIALIZE,
+    STAGE_TYPECHECK,
+)
+
+__all__ = [
+    "FlayError",
+    "OptionsError",
+    "SourcePos",
+    "STAGE_ANALYSIS",
+    "STAGE_INTERPRET",
+    "STAGE_LOWER",
+    "STAGE_PARSE",
+    "STAGE_QUERY",
+    "STAGE_RUNTIME",
+    "STAGE_SPECIALIZE",
+    "STAGE_TYPECHECK",
+]

@@ -1,0 +1,141 @@
+"""Typed engine events and the bus that carries them.
+
+Everything the engine wants to tell the outside world — pass start/end,
+cache hit/miss activity, update forwarded vs. recompiled, target compiles
+— is published as a frozen dataclass on an :class:`EventBus`.  The CLI's
+``--stats`` flag, the benchmarks, and the CI smoke job subscribe an
+:class:`EventLog` instead of reaching into pipeline internals.
+
+The bus is deliberately cheap when nobody listens: hot paths guard event
+construction on :attr:`EventBus.active`, so a subscriber-free pipeline
+pays one attribute check per would-be event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of every engine event."""
+
+
+@dataclass(frozen=True)
+class PassStarted(Event):
+    """A pipeline pass began executing."""
+
+    pass_name: str
+    stage: str  # "cold" | "warm"
+
+
+@dataclass(frozen=True)
+class PassFinished(Event):
+    """A pipeline pass finished executing."""
+
+    pass_name: str
+    stage: str
+    elapsed_ms: float
+
+
+@dataclass(frozen=True)
+class CacheActivity(Event):
+    """Hit/miss/invalidation delta of one cache layer over one warm run."""
+
+    cache: str
+    hits: int
+    misses: int
+    invalidations: int
+
+
+@dataclass(frozen=True)
+class UpdateProcessed(Event):
+    """Outcome of one warm run (single update, value-set update, or batch)."""
+
+    kind: str  # "update" | "value_set" | "batch"
+    forwarded: bool
+    recompiled: bool
+    update_count: int
+    affected_points: int
+    changed: int
+    elapsed_ms: float
+
+
+@dataclass(frozen=True)
+class UpdateLowered(Event):
+    """A forwarded update was handed to the target backend untouched."""
+
+    target: str
+    table: Optional[str]
+
+
+@dataclass(frozen=True)
+class TargetCompiled(Event):
+    """The target backend (re)compiled a specialized program."""
+
+    target: str
+    modeled_seconds: float
+
+
+class EventBus:
+    """A synchronous fan-out bus for engine events."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber listens (guard for hot paths)."""
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.remove(callback)
+
+    def emit(self, event: Event) -> None:
+        for callback in self._subscribers:
+            callback(event)
+
+    def attach_log(self) -> "EventLog":
+        """Subscribe and return a fresh :class:`EventLog`."""
+        log = EventLog()
+        self.subscribe(log)
+        return log
+
+
+class EventLog:
+    """A recording subscriber: keeps every event, queryable by type."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, event_type: Type[Event]) -> list[Event]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def count(self, event_type: Type[Event]) -> int:
+        return sum(1 for e in self.events if isinstance(e, event_type))
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def summary(self) -> str:
+        """One line per event type with its count, for the CLI."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            name = type(event).__name__
+            counts[name] = counts.get(name, 0) + 1
+        if not counts:
+            return "no events"
+        return ", ".join(f"{name}: {n}" for name, n in sorted(counts.items()))

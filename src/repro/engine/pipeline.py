@@ -1,0 +1,410 @@
+"""Concrete pipeline passes: the cold pipeline and the warm update path.
+
+The cold pipeline (run once per program) is the declared sequence
+
+    parse → typecheck → analyze → encode → specialize → lower
+
+and the warm path (run per control-plane update or batch) is
+
+    apply-updates → reverdict-{points,tables} → respecialize → lower
+
+Both are plain :class:`~repro.engine.passes.Pass` sequences over one
+:class:`~repro.engine.context.EngineContext`; the only difference between
+processing a single update, a value-set update, and a batch is the
+declared *order* of the reverdict stages (a batch reports changed tables
+before changed points, matching the historical decision format).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.symexec import analyze
+from repro.engine.context import EngineContext, SolverBudget
+from repro.engine.events import TargetCompiled
+from repro.engine.queries import QueryEngine
+from repro.engine.specialize import Specializer
+from repro.p4.parser import parse_program
+from repro.p4.types import TypeEnv
+from repro.runtime.semantics import (
+    ControlPlaneState,
+    ValueSetUpdate,
+    encode_table,
+    encode_value_set,
+)
+from repro.smt import DeltaSubstitution
+from repro.smt.terms import DEFAULT_FACTORY
+
+
+# ---------------------------------------------------------------------------
+# Decisions — the warm path's public outcome records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UpdateDecision:
+    """Outcome of processing one control-plane update."""
+
+    update: object
+    forwarded: bool  # sent to the device without recompilation
+    recompiled: bool
+    affected_points: int
+    changed: list  # pids / table names whose verdict changed
+    elapsed_ms: float
+    overapproximated: bool
+    compile_report: object = None
+
+    def describe(self) -> str:
+        action = "RECOMPILE" if self.recompiled else "forward"
+        mode = " (overapprox)" if self.overapproximated else ""
+        return (
+            f"{action}{mode}: {self.affected_points} points checked, "
+            f"{len(self.changed)} changed, {self.elapsed_ms:.2f} ms"
+        )
+
+
+@dataclass
+class BatchDecision:
+    """Outcome of processing a burst of updates as one unit."""
+
+    update_count: int
+    recompiled: bool
+    changed: list  # verdicts that changed (pids / table names)
+    affected_points: int
+    elapsed_ms: float
+    compile_report: object = None
+
+    @property
+    def updates(self) -> int:
+        return self.update_count
+
+    def describe(self) -> str:
+        action = "RECOMPILE" if self.recompiled else "forward"
+        return (
+            f"{action}: batch of {self.update_count} updates, "
+            f"{self.affected_points} points checked, "
+            f"{len(self.changed)} changed, {self.elapsed_ms:.1f} ms"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Warm-run scratch state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WarmState:
+    """Per-run scratch shared by the warm passes via ``ctx.warm``."""
+
+    updates: list
+    mode: str  # "update" | "value_set" | "batch"
+    touched_tables: list = field(default_factory=list)  # sorted names
+    touched_vars: set = field(default_factory=set)
+    assignments: dict = field(default_factory=dict)  # table → TableAssignment
+    affected: set = field(default_factory=set)  # pids re-checked
+    changed: list = field(default_factory=list)  # pids / table names
+    respecialized: bool = False
+    compile_report: object = None
+
+
+# ---------------------------------------------------------------------------
+# Cold passes
+# ---------------------------------------------------------------------------
+
+
+class ParsePass:
+    """``ctx.source`` → ``ctx.program`` (skipped when a program was given)."""
+
+    name = "parse"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        if ctx.program is not None:
+            return
+        start = time.perf_counter()
+        ctx.program = parse_program(ctx.source)
+        ctx.timings.parse_seconds = time.perf_counter() - start
+
+
+class TypeCheckPass:
+    """Build the type environment (the front end's semantic check)."""
+
+    name = "typecheck"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        if ctx.env is None:
+            ctx.env = TypeEnv(ctx.program)
+
+
+class AnalysisPass:
+    """One-time data-plane analysis plus the long-lived engine state.
+
+    Produces the :class:`DataPlaneModel`, the control-plane state, the
+    query engine (owner of the verdict/CNF caches), the specializer, and
+    the cross-update :class:`DeltaSubstitution`.
+    """
+
+    name = "analyze"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        options = ctx.options
+        ctx.model = analyze(ctx.program, ctx.env, skip_parser=options.skip_parser)
+        ctx.timings.data_plane_analysis_seconds = ctx.model.analysis_seconds
+        ctx.state = ControlPlaneState(ctx.model)
+        ctx.solver_budget = SolverBudget(
+            max_decisions=(
+                options.solver_max_decisions
+                if options.solver_max_decisions is not None
+                else QueryEngine.DEFAULT_MAX_DECISIONS
+            ),
+            node_budget=(
+                options.solver_node_budget
+                if options.solver_node_budget is not None
+                else 400
+            ),
+        )
+        ctx.query_engine = QueryEngine(
+            ctx.model,
+            use_solver=options.use_solver,
+            solver_node_budget=ctx.solver_budget.node_budget,
+        )
+        ctx.query_engine.solver.max_decisions = ctx.solver_budget.max_decisions
+        ctx.specializer = Specializer(
+            ctx.program,
+            ctx.model,
+            ctx.env,
+            prune_parser_tail=options.prune_parser_tail,
+            effort=options.effort,
+        )
+        ctx.term_factory = DEFAULT_FACTORY
+        # One long-lived substitution whose memo survives across updates:
+        # an update only invalidates the memo entries that mention a
+        # control symbol whose assignment actually changed (delta
+        # substitution), so warm updates touch O(delta) of each point's DAG.
+        ctx.substitution = DeltaSubstitution({})
+
+
+class EncodePass:
+    """Encode the initial control plane and evaluate every program point."""
+
+    name = "encode"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        for name, info in ctx.model.tables.items():
+            assignment = encode_table(
+                info, ctx.state.tables[name], ctx.options.overapprox_threshold
+            )
+            ctx.table_assignments[name] = assignment
+            ctx.mapping.update(assignment.mapping)
+            ctx.table_verdicts[name] = ctx.query_engine.table_verdict(
+                info, assignment, ctx.state.tables[name]
+            )
+        for name, info in ctx.model.value_sets.items():
+            ctx.mapping.update(encode_value_set(info, ctx.state.value_sets[name]))
+        ctx.substitution.set_many(ctx.mapping)
+        for pid, point in ctx.model.points.items():
+            ctx.point_verdicts[pid] = ctx.query_engine.point_verdict(
+                point, ctx.substitution
+            )
+
+
+class SpecializePass:
+    """Verdicts → specialized program (initial or re-specialization)."""
+
+    name = "specialize"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        ctx.specialized_program, ctx.report = ctx.specializer.specialize(
+            ctx.point_verdicts, ctx.table_verdicts
+        )
+
+
+class LowerPass:
+    """Hand the specialized program to the target backend.
+
+    Cold runs always compile; warm runs compile only when the warm path
+    actually respecialized (a forwarded update never reaches the device
+    compiler — that is the paper's entire point).
+    """
+
+    name = "lower"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        if ctx.target is None:
+            return
+        warm = ctx.warm
+        if warm is not None and not warm.respecialized:
+            return
+        report = ctx.target.compile(ctx.specialized_program)
+        ctx.compile_reports.append(report)
+        if warm is not None:
+            warm.compile_report = report
+        if ctx.bus.active:
+            ctx.bus.emit(
+                TargetCompiled(
+                    target=getattr(ctx.target, "name", "target"),
+                    modeled_seconds=getattr(report, "modeled_seconds", 0.0),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Warm passes
+# ---------------------------------------------------------------------------
+
+
+class ApplyUpdatesPass:
+    """Apply the pending updates to the control-plane state and re-encode.
+
+    Value-set updates are encoded inline (in update order); touched tables
+    are re-encoded once each, in sorted name order — so a 1000-entry burst
+    into one table costs one encoding, not a thousand.
+    """
+
+    name = "apply-updates"
+    stage = "warm"
+
+    def run(self, ctx: EngineContext) -> None:
+        warm = ctx.warm
+        touched: set = set()
+        for update in warm.updates:
+            if isinstance(update, ValueSetUpdate):
+                info = ctx.state.apply_value_set_update(update)
+                mapping = encode_value_set(info, ctx.state.value_sets[info.name])
+                ctx.mapping.update(mapping)
+                ctx.substitution.set_many(mapping)
+                warm.touched_vars.update(info.control_var_names())
+            else:
+                info = ctx.state.apply_update(update)
+                touched.add(info.name)
+                warm.touched_vars.update(info.control_var_names())
+        warm.touched_tables = sorted(touched)
+        for name in warm.touched_tables:
+            info = ctx.model.tables[name]
+            assignment = encode_table(
+                info, ctx.state.tables[name], ctx.options.overapprox_threshold
+            )
+            ctx.table_assignments[name] = assignment
+            warm.assignments[name] = assignment
+            ctx.mapping.update(assignment.mapping)
+            ctx.substitution.set_many(assignment.mapping)
+
+
+class ReverdictPointsPass:
+    """Re-query exactly the program points tainted by the touched symbols."""
+
+    name = "reverdict-points"
+    stage = "warm"
+
+    def run(self, ctx: EngineContext) -> None:
+        warm = ctx.warm
+        warm.affected = ctx.model.points_for_control_vars(warm.touched_vars)
+        for pid in sorted(warm.affected):
+            verdict = ctx.query_engine.point_verdict(
+                ctx.model.points[pid], ctx.substitution
+            )
+            if not verdict.same_specialization(ctx.point_verdicts[pid]):
+                warm.changed.append(pid)
+            ctx.point_verdicts[pid] = verdict
+
+
+class ReverdictTablesPass:
+    """Recompute the structural verdict of every touched table."""
+
+    name = "reverdict-tables"
+    stage = "warm"
+
+    def run(self, ctx: EngineContext) -> None:
+        warm = ctx.warm
+        for name in warm.touched_tables:
+            info = ctx.model.tables[name]
+            verdict = ctx.query_engine.table_verdict(
+                info, warm.assignments[name], ctx.state.tables[name]
+            )
+            if not verdict.same_specialization(ctx.table_verdicts[name]):
+                warm.changed.append(name)
+            ctx.table_verdicts[name] = verdict
+
+
+class RespecializePass:
+    """Respecialize iff some verdict changed (the recompile decision)."""
+
+    name = "respecialize"
+    stage = "warm"
+
+    def run(self, ctx: EngineContext) -> None:
+        warm = ctx.warm
+        if not warm.changed or not ctx.respecialize_on_change:
+            return
+        ctx.specialized_program, ctx.report = ctx.specializer.specialize(
+            ctx.point_verdicts, ctx.table_verdicts
+        )
+        ctx.recompilations += 1
+        warm.respecialized = True
+
+
+class WarmLowerPass(LowerPass):
+    """Warm-path lowering (same logic; declared under the warm stage)."""
+
+    stage = "warm"
+
+
+# ---------------------------------------------------------------------------
+# Declared sequences
+# ---------------------------------------------------------------------------
+
+
+def cold_passes() -> list:
+    """The cold pipeline, in order."""
+    return [
+        ParsePass(),
+        TypeCheckPass(),
+        AnalysisPass(),
+        EncodePass(),
+        SpecializePass(),
+        LowerPass(),
+    ]
+
+
+def warm_passes(mode: str) -> list:
+    """The warm path for one update mode.
+
+    A single update reports changed points before its table; a batch
+    reports changed tables first (historical decision format, preserved
+    bit-for-bit).  Value-set updates touch no table, so the table stage is
+    a no-op for them.
+    """
+    apply_stage = ApplyUpdatesPass()
+    points = ReverdictPointsPass()
+    tables = ReverdictTablesPass()
+    tail = [RespecializePass(), WarmLowerPass()]
+    if mode == "batch":
+        return [apply_stage, tables, points, *tail]
+    return [apply_stage, points, tables, *tail]
+
+
+__all__ = [
+    "ApplyUpdatesPass",
+    "AnalysisPass",
+    "BatchDecision",
+    "EncodePass",
+    "LowerPass",
+    "ParsePass",
+    "RespecializePass",
+    "ReverdictPointsPass",
+    "ReverdictTablesPass",
+    "SpecializePass",
+    "TypeCheckPass",
+    "UpdateDecision",
+    "WarmLowerPass",
+    "WarmState",
+    "cold_passes",
+    "warm_passes",
+]

@@ -1,0 +1,311 @@
+"""Specialization queries and their verdicts.
+
+Flay asks two kinds of queries over the substituted data-plane expressions
+(§4.1): *executability* ("is this piece of code executable?") for boolean
+points (if-conditions, parser select guards) and *constancy* ("can this
+variable be replaced by a constant?") for value points (assignments,
+post-table snapshots).  Tables additionally get a structural
+:class:`TableVerdict` (feasible actions, hit behaviour, constant action
+data, effective match kinds).
+
+Verdicts — not raw terms — are the unit of comparison in the incremental
+pipeline: a control-plane update requires recompilation iff some verdict
+changes, because the specialized implementation is a pure function of the
+verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.model import (
+    DataPlaneModel,
+    KIND_IF,
+    KIND_SELECT,
+    ProgramPoint,
+    TableInfo,
+)
+from repro.ir.metrics import CacheCounter
+from repro.runtime.entries import LpmMatch, TernaryMatch
+from repro.runtime.semantics import TableAssignment, TableState
+from repro.smt import Solver, Substitution, terms as T
+from repro.smt.sat import SolverBudgetExceeded
+from repro.smt.simplify import constant_value, simplify
+from repro.smt.terms import Term
+
+# Executability outcomes.
+ALWAYS = "always"
+NEVER = "never"
+MAYBE = "maybe"
+
+
+@dataclass(frozen=True)
+class PointVerdict:
+    """Result of the specialization query at one program point."""
+
+    pid: str
+    kind: str
+    # Executability points: ALWAYS / NEVER / MAYBE.
+    executability: Optional[str] = None
+    # Value points: the constant, or None when data-dependent.
+    constant: Optional[int] = None
+    is_constant: bool = False
+
+    def same_specialization(self, other: "PointVerdict") -> bool:
+        """Would this verdict lead to the same specialized code as ``other``?"""
+        return (
+            self.executability == other.executability
+            and self.is_constant == other.is_constant
+            and self.constant == other.constant
+        )
+
+
+@dataclass(frozen=True)
+class TableVerdict:
+    """Structural summary of one table under the current entries."""
+
+    table: str
+    feasible_actions: frozenset
+    hit: str  # ALWAYS / NEVER / MAYBE
+    # ((action, param) → constant or None), sorted for comparability.
+    const_params: tuple
+    # Effective match kind per key after narrowing ("exact"/"ternary"/"lpm").
+    match_plan: tuple
+    entry_count: int
+    overapproximated: bool
+
+    def same_specialization(self, other: "TableVerdict") -> bool:
+        return (
+            self.feasible_actions == other.feasible_actions
+            and self.hit == other.hit
+            and self.const_params == other.const_params
+            and self.match_plan == other.match_plan
+        )
+
+
+class QueryEngine:
+    """Evaluates specialization queries against a substitution."""
+
+    #: Default decision budget for the DPLL search inside a query.  The
+    #: update path must stay inside Flay's ~100 ms envelope, so queries
+    #: that would need real search fall back to MAYBE instead.
+    DEFAULT_MAX_DECISIONS = 20_000
+
+    def __init__(
+        self,
+        model: DataPlaneModel,
+        solver: Optional[Solver] = None,
+        use_solver: bool = True,
+        solver_node_budget: int = 400,
+    ) -> None:
+        self.model = model
+        if solver is None:
+            solver = Solver(max_decisions=self.DEFAULT_MAX_DECISIONS)
+        self.solver = solver
+        self.use_solver = use_solver
+        self.solver_node_budget = solver_node_budget
+        # Cross-update caches.  Both are pure: post-substitution terms are
+        # hash-consed and contain no control symbols, so a verdict/simplified
+        # form computed once is correct forever (only an explicit
+        # :meth:`invalidate` — a generation bump — ever drops them).
+        self.exec_counter = CacheCounter("executability")
+        self.generation = 0
+        self._exec_cache: dict[Term, str] = {}
+        self._simplify_memo: dict[int, Term] = {}
+
+    @property
+    def simplify_memo(self) -> dict[int, Term]:
+        """Engine-persistent simplify memo (id-keyed over interned terms)."""
+        return self._simplify_memo
+
+    def invalidate(self) -> None:
+        """Drop every cache layer (generation bump); verdicts stay correct."""
+        self.generation += 1
+        self.exec_counter.invalidate(len(self._exec_cache))
+        self._exec_cache.clear()
+        self._simplify_memo.clear()
+        self.solver.invalidate_caches()
+
+    # -- per-point queries ----------------------------------------------------
+
+    def point_verdict(
+        self,
+        point: ProgramPoint,
+        substitution: Substitution,
+        memo: Optional[dict[int, Term]] = None,
+    ) -> PointVerdict:
+        if memo is None:
+            memo = self._simplify_memo
+        term = simplify(substitution.apply(point.expr), memo=memo)
+        if point.kind in (KIND_IF, KIND_SELECT):
+            return PointVerdict(
+                point.pid, point.kind, executability=self._executability(term)
+            )
+        value = constant_value(term)
+        return PointVerdict(
+            point.pid, point.kind, constant=value, is_constant=value is not None
+        )
+
+    def _executability(self, term: Term) -> str:
+        if term is T.TRUE:
+            return ALWAYS
+        if term is T.FALSE:
+            return NEVER
+        cached = self._exec_cache.get(term)
+        if cached is not None:
+            self.exec_counter.hit()
+            return cached
+        self.exec_counter.miss()
+        if not self.use_solver or T.tree_size(term) > self.solver_node_budget:
+            self._exec_cache[term] = MAYBE
+            return MAYBE
+        # MAYBE is always a sound answer; a blown decision budget simply
+        # means "keep the general implementation".  Budget blow-ups are the
+        # one outcome we do not memoize: a later engine configuration change
+        # (or solver cache warm-up) may let the same query finish.
+        try:
+            if not self.solver.check_sat(term).satisfiable:
+                verdict = NEVER
+            elif not self.solver.check_sat(T.bool_not(term)).satisfiable:
+                verdict = ALWAYS
+            else:
+                verdict = MAYBE
+        except SolverBudgetExceeded:
+            return MAYBE
+        self._exec_cache[term] = verdict
+        return verdict
+
+    # -- per-table queries ---------------------------------------------------------
+
+    def table_verdict(
+        self,
+        info: TableInfo,
+        assignment: TableAssignment,
+        state: TableState,
+    ) -> TableVerdict:
+        if assignment.overapproximated:
+            # "*any*": every action and parameter value is presumed covered,
+            # so every parameter is non-constant — phrased the same way the
+            # precise path phrases it, so that crossing the threshold does
+            # not spuriously change the verdict (the paper's observation
+            # that big tables already cover their paths).
+            const_params = tuple(
+                ((action, param.name), None)
+                for action, params in sorted(info.action_params.items())
+                for param in params
+            )
+            return TableVerdict(
+                table=info.name,
+                feasible_actions=frozenset(info.action_codes),
+                hit=MAYBE,
+                const_params=const_params,
+                match_plan=tuple(k.match_kind for k in info.keys),
+                entry_count=assignment.entry_count,
+                overapproximated=True,
+            )
+        selector = simplify(assignment.mapping[info.selector_var], memo=self._simplify_memo)
+        codes = _possible_values(selector)
+        code_to_action = {code: name for name, code in info.action_codes.items()}
+        if codes is None:
+            feasible = frozenset(info.action_codes)
+        else:
+            feasible = frozenset(
+                code_to_action[c] for c in codes if c in code_to_action
+            )
+        hit_term = simplify(assignment.mapping[info.hit_var], memo=self._simplify_memo)
+        hit_value = constant_value(hit_term)
+        if hit_value == 1:
+            hit = ALWAYS
+        elif hit_value == 0:
+            hit = NEVER
+        else:
+            hit = MAYBE
+        # Parameter constancy is *conditional on the action running*: the
+        # values an action's parameter can take are the action data of the
+        # entries that select it (plus the default binding when a miss can
+        # reach the default action).  Fig. 3 step 2: the single wildcard
+        # entry makes set's parameter the constant 0x800.
+        entries = state.active_entries()
+        default_reachable = hit != ALWAYS
+        const_params: list = []
+        for action_name, params in sorted(info.action_params.items()):
+            if action_name not in feasible:
+                continue
+            for index, param in enumerate(params):
+                values = {
+                    entry.args[index]
+                    for entry in entries
+                    if entry.action == action_name
+                }
+                if action_name == info.default_action and default_reachable:
+                    if index < len(info.default_args):
+                        values.add(info.default_args[index] or 0)
+                    else:
+                        values.add(0)
+                value = values.pop() if len(values) == 1 else None
+                const_params.append(((action_name, param.name), value))
+        return TableVerdict(
+            table=info.name,
+            feasible_actions=feasible,
+            hit=hit,
+            const_params=tuple(const_params),
+            match_plan=self._match_plan(info, state),
+            entry_count=assignment.entry_count,
+            overapproximated=False,
+        )
+
+    @staticmethod
+    def _match_plan(info: TableInfo, state: TableState) -> tuple:
+        """Effective match kind per key, narrowed by the installed entries.
+
+        A ternary key whose active entries all carry the full mask behaves
+        as an exact key and can shed its TCAM (Fig. 3 impl. B); similarly a
+        ternary key that is fully wildcarded by every entry needs no match
+        data structure at all ("none").
+        """
+        entries = state.active_entries()
+        plan: list[str] = []
+        for index, key in enumerate(info.keys):
+            if key.match_kind != "ternary":
+                plan.append(key.match_kind)
+                continue
+            if not entries:
+                plan.append("none")
+                continue
+            masks = set()
+            for entry in entries:
+                match = entry.matches[index]
+                if isinstance(match, TernaryMatch):
+                    masks.add(match.mask)
+                else:
+                    masks.add((1 << key.width) - 1)
+            full = (1 << key.width) - 1
+            if masks == {full}:
+                plan.append("exact")
+            elif masks == {0}:
+                plan.append("none")
+            else:
+                plan.append("ternary")
+        return tuple(plan)
+
+
+def _possible_values(term: Term, limit: int = 512) -> Optional[set[int]]:
+    """Overapproximate the set of values an ite-tree term can take.
+
+    Returns ``None`` when the term is not a constant/ite tree (unbounded).
+    """
+    values: set[int] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node.op == T.OP_BVCONST:
+            values.add(node.payload)
+        elif node.op == T.OP_ITE:
+            stack.append(node.args[1])
+            stack.append(node.args[2])
+        else:
+            return None
+        if len(values) > limit:
+            return None
+    return values

@@ -1,0 +1,708 @@
+"""The specializing transformer: verdicts → specialized program.
+
+Implements the paper's partial-evaluation repertoire (§4.1):
+
+* **dead-code elimination** — if/select branches whose guard is NEVER are
+  dropped; unused table actions are removed (Fig. 3's vanishing ``drop``);
+* **constant propagation** — assignments whose value is a constant under
+  the current control plane are replaced by literals;
+* **table inlining** — a table that can only ever run one action with
+  constant action data is replaced by that action's body (Fig. 3 impl. A);
+  an empty table running a no-op default disappears entirely;
+* **match-kind narrowing** — a ternary key whose entries all use the full
+  mask becomes exact, freeing TCAM (Fig. 3 impl. B);
+* **parser specializations** — select branches that can never be taken
+  (e.g. through an unconfigured value set) are removed, and unused headers
+  at the tail of the parse graph are reclassified as payload.
+
+The output is a new AST; the device compiler consumes it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.model import DataPlaneModel, TableInfo
+from repro.analysis.symexec import VALID_SUFFIX
+from repro.errors import FlayError, OptionsError, STAGE_SPECIALIZE
+from repro.engine.queries import ALWAYS, MAYBE, NEVER, PointVerdict, TableVerdict
+from repro.p4 import ast_nodes as ast
+from repro.p4.types import TypeEnv
+
+
+@dataclass
+class SpecializationReport:
+    """What the specializer did, for resource accounting and the examples."""
+
+    removed_tables: list = field(default_factory=list)
+    inlined_tables: list = field(default_factory=list)
+    removed_actions: dict = field(default_factory=dict)  # table → [action]
+    narrowed_keys: dict = field(default_factory=dict)  # table → match plan
+    removed_branches: int = 0
+    removed_select_cases: int = 0
+    pruned_headers: list = field(default_factory=list)
+    constants_propagated: int = 0
+
+    def summary(self) -> str:
+        parts = []
+        if self.removed_tables:
+            parts.append(f"removed tables: {', '.join(self.removed_tables)}")
+        if self.inlined_tables:
+            parts.append(f"inlined tables: {', '.join(self.inlined_tables)}")
+        for table, actions in self.removed_actions.items():
+            parts.append(f"{table}: dropped actions {', '.join(actions)}")
+        for table, plan in self.narrowed_keys.items():
+            parts.append(f"{table}: match plan {plan}")
+        if self.removed_branches:
+            parts.append(f"removed {self.removed_branches} branches")
+        if self.removed_select_cases:
+            parts.append(f"removed {self.removed_select_cases} select cases")
+        if self.pruned_headers:
+            parts.append(f"pruned headers: {', '.join(self.pruned_headers)}")
+        if self.constants_propagated:
+            parts.append(f"propagated {self.constants_propagated} constants")
+        return "; ".join(parts) if parts else "no specializations applied"
+
+
+#: Specialization effort presets (the paper's second future-work axis:
+#: trading specialization quality against respecialization time).
+EFFORT_NONE = "none"      # pass the program through untouched
+EFFORT_DCE = "dce"        # dead code only: branches, empty tables, actions
+EFFORT_FULL = "full"      # + constant propagation, inlining, narrowing
+
+
+class Specializer:
+    """One-shot specialization of a program against a verdict set."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        model: DataPlaneModel,
+        env: Optional[TypeEnv] = None,
+        prune_parser_tail: bool = True,
+        effort: str = EFFORT_FULL,
+    ) -> None:
+        if effort not in (EFFORT_NONE, EFFORT_DCE, EFFORT_FULL):
+            raise OptionsError(
+                f"unknown effort level {effort!r} "
+                f"(choose one of: {EFFORT_NONE}, {EFFORT_DCE}, {EFFORT_FULL})"
+            )
+        self.program = program
+        self.model = model
+        self.env = env if env is not None else TypeEnv(program)
+        self.effort = effort
+        self.prune_parser_tail = prune_parser_tail and effort == EFFORT_FULL
+        # Individual passes, derived from the effort preset.
+        self.enable_dce = effort in (EFFORT_DCE, EFFORT_FULL)
+        self.enable_constant_propagation = effort == EFFORT_FULL
+        self.enable_inlining = effort == EFFORT_FULL
+        self.enable_narrowing = effort == EFFORT_FULL
+
+    def specialize(
+        self,
+        point_verdicts: dict[str, PointVerdict],
+        table_verdicts: dict[str, TableVerdict],
+    ) -> tuple[ast.Program, SpecializationReport]:
+        self.report = SpecializationReport()
+        if self.effort == EFFORT_NONE:
+            return self.program, self.report
+        self.point_verdicts = point_verdicts
+        self.table_verdicts = table_verdicts
+        self._node_verdicts = self._collect_node_verdicts(point_verdicts)
+
+        new_decls: list = []
+        new_controls: dict[str, ast.ControlDecl] = {}
+        for decl in self.program.declarations:
+            if isinstance(decl, ast.ControlDecl) and self._in_pipeline(decl.name):
+                specialized = self._spec_control(decl)
+                new_controls[decl.name] = specialized
+                new_decls.append(specialized)
+            elif isinstance(decl, ast.ParserDecl) and self._in_pipeline(decl.name):
+                new_decls.append(self._spec_parser(decl))
+            else:
+                new_decls.append(decl)
+
+        program = ast.Program(tuple(new_decls))
+        if self.prune_parser_tail:
+            program = self._prune_parser_tail(program)
+        return program, self.report
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _in_pipeline(self, name: str) -> bool:
+        pipeline = self.program.pipeline
+        return name == pipeline.parser or name in pipeline.controls
+
+    def _collect_node_verdicts(
+        self, point_verdicts: dict[str, PointVerdict]
+    ) -> dict[int, PointVerdict]:
+        """node_id → verdict, dropping nodes with conflicting verdicts.
+
+        A node can be annotated more than once (e.g. an assignment inside an
+        action body shared by two tables); we only specialize on it when
+        every annotation agrees.
+        """
+        by_node: dict[int, PointVerdict] = {}
+        conflicted: set[int] = set()
+        for pid, verdict in point_verdicts.items():
+            point = self.model.points.get(pid)
+            if point is None or point.node_id is None:
+                continue
+            node_id = point.node_id
+            if node_id in conflicted:
+                continue
+            existing = by_node.get(node_id)
+            if existing is None:
+                by_node[node_id] = verdict
+            elif not existing.same_specialization(verdict):
+                conflicted.add(node_id)
+                del by_node[node_id]
+        return by_node
+
+    def _table_info(self, control: str, table: str) -> TableInfo:
+        return self.model.tables[f"{control}.{table}"]
+
+    def _verdict_for_node(self, node_id: int) -> Optional[PointVerdict]:
+        return self._node_verdicts.get(node_id)
+
+    # -- controls ---------------------------------------------------------------
+
+    def _spec_control(self, decl: ast.ControlDecl) -> ast.ControlDecl:
+        self._current = decl
+        self._kept_tables: dict[str, ast.TableDecl] = {}
+        new_apply = ast.Block(tuple(self._spec_block(decl.apply)))
+
+        referenced_actions: set[str] = set()
+        for table in self._kept_tables.values():
+            referenced_actions.update(ref.name for ref in table.actions)
+            if table.default_action is not None:
+                referenced_actions.add(table.default_action.name)
+        new_locals: list = []
+        for local in decl.locals:
+            if isinstance(local, ast.TableDecl):
+                if local.name in self._kept_tables:
+                    new_locals.append(self._kept_tables[local.name])
+            elif isinstance(local, ast.ActionDecl):
+                if local.name in referenced_actions:
+                    new_locals.append(local)
+            else:
+                new_locals.append(local)
+        return ast.ControlDecl(decl.name, decl.params, tuple(new_locals), new_apply)
+
+    def _spec_block(self, block: ast.Block) -> list:
+        statements: list = []
+        for stmt in block.statements:
+            statements.extend(self._spec_stmt(stmt))
+        return statements
+
+    def _spec_stmt(self, stmt) -> list:
+        if isinstance(stmt, ast.AssignStmt):
+            return [self._spec_assign(stmt)]
+        if isinstance(stmt, ast.IfStmt):
+            return self._spec_if(stmt)
+        if isinstance(stmt, ast.MethodCallStmt):
+            call = stmt.call
+            if call.method == "apply" and call.target is not None:
+                return self._spec_table_apply(_target_name(call.target))
+            return [stmt]
+        if isinstance(stmt, ast.SwitchStmt):
+            return self._spec_switch(stmt)
+        return [stmt]
+
+    def _spec_assign(self, stmt: ast.AssignStmt) -> ast.AssignStmt:
+        if not self.enable_constant_propagation:
+            return stmt
+        verdict = self._verdict_for_node(id(stmt))
+        if (
+            verdict is not None
+            and verdict.is_constant
+            and not isinstance(stmt.rhs, (ast.IntLit, ast.BoolLit))
+            and not isinstance(stmt.lhs, ast.Slice)
+        ):
+            width = self._lhs_width(stmt.lhs)
+            if width is not None:
+                self.report.constants_propagated += 1
+                return ast.AssignStmt(
+                    stmt.lhs, ast.IntLit(verdict.constant, width), pos=stmt.pos
+                )
+        return stmt
+
+    def _lhs_width(self, lhs) -> Optional[int]:
+        from repro.p4.types import Scope, lvalue_path, scope_for_params
+
+        try:
+            scope = scope_for_params(self.env, self._current.params)
+            for local in self._current.locals:
+                if isinstance(local, ast.VarDeclStmt):
+                    scope.bind(local.name, local.type)
+            from repro.p4.types import type_of
+
+            t = type_of(lhs, scope)
+            resolved = self.env.resolve(t)
+            if isinstance(resolved, ast.BoolType):
+                return None  # keep booleans textual
+            return self.env.width_of(resolved)
+        except Exception:
+            return None
+
+    def _spec_if(self, stmt: ast.IfStmt) -> list:
+        # `if (t.apply().hit)` — decided by the table's hit verdict.
+        hit_form = _match_apply_hit(stmt.cond)
+        if hit_form is not None:
+            table_name, want_hit = hit_form
+            verdict = self.table_verdicts.get(
+                f"{self._current.name}.{table_name}"
+            )
+            prefix = self._spec_table_apply(table_name)
+            if verdict is None or verdict.hit == MAYBE:
+                # Table must stay; reattach the condition around the apply.
+                then = ast.Block(tuple(self._spec_block(stmt.then)))
+                orelse = (
+                    ast.Block(tuple(self._spec_block(stmt.orelse)))
+                    if stmt.orelse is not None
+                    else None
+                )
+                return [ast.IfStmt(stmt.cond, then, orelse, pos=stmt.pos)]
+            taken = (verdict.hit == ALWAYS) == want_hit
+            self.report.removed_branches += 1
+            if taken:
+                return prefix + self._spec_block(stmt.then)
+            if stmt.orelse is not None:
+                return prefix + self._spec_block(stmt.orelse)
+            return prefix
+
+        verdict = self._verdict_for_node(id(stmt)) if self.enable_dce else None
+        if verdict is not None and verdict.executability == ALWAYS:
+            self.report.removed_branches += 1
+            return self._spec_block(stmt.then)
+        if verdict is not None and verdict.executability == NEVER:
+            self.report.removed_branches += 1
+            return self._spec_block(stmt.orelse) if stmt.orelse is not None else []
+        then = ast.Block(tuple(self._spec_block(stmt.then)))
+        orelse = (
+            ast.Block(tuple(self._spec_block(stmt.orelse)))
+            if stmt.orelse is not None
+            else None
+        )
+        return [ast.IfStmt(stmt.cond, then, orelse, pos=stmt.pos)]
+
+    # -- tables -------------------------------------------------------------------
+
+    def _spec_table_apply(self, table_name: str) -> list:
+        control = self._current
+        qualified = f"{control.name}.{table_name}"
+        decl = _find_table(control, table_name)
+        verdict = self.table_verdicts.get(qualified)
+        info = self.model.tables.get(qualified)
+        if verdict is None or info is None or verdict.overapproximated:
+            self._kept_tables[table_name] = decl
+            return [_apply_stmt(table_name)]
+
+        feasible = verdict.feasible_actions
+        if len(feasible) == 1:
+            (action_name,) = feasible
+            const_args = self._const_args_for(verdict, info, action_name)
+            action_decl = _find_action(self._current, action_name)
+            body_empty = not action_decl.body.statements
+            # DCE-only effort may still *remove* an empty table (dead code)
+            # but never inlines an effectful action body.
+            if not self.enable_inlining and not body_empty:
+                const_args = None
+            if const_args is not None:
+                body = self._inline_action(control, action_name, const_args)
+                if not decl.keys and not body:
+                    self.report.removed_tables.append(qualified)
+                elif body:
+                    self.report.inlined_tables.append(qualified)
+                else:
+                    self.report.removed_tables.append(qualified)
+                return body
+
+        # Keep the table; shed infeasible actions and narrow match kinds.
+        kept_actions = tuple(
+            ref for ref in decl.actions if ref.name in feasible
+        )
+        dropped = [ref.name for ref in decl.actions if ref.name not in feasible]
+        if dropped:
+            self.report.removed_actions.setdefault(qualified, []).extend(dropped)
+        new_keys = []
+        narrowed = False
+        for key, plan_kind in zip(decl.keys, verdict.match_plan):
+            if not self.enable_narrowing:
+                new_keys.append(key)
+                continue
+            if plan_kind == "none":
+                narrowed = True
+                continue  # fully wildcarded key needs no match hardware
+            if plan_kind != key.match_kind:
+                narrowed = True
+                new_keys.append(ast.KeyElement(key.expr, plan_kind))
+            else:
+                new_keys.append(key)
+        if narrowed:
+            self.report.narrowed_keys[qualified] = verdict.match_plan
+        new_decl = ast.TableDecl(
+            decl.name, tuple(new_keys), kept_actions, decl.default_action, decl.size
+        )
+        self._kept_tables[table_name] = new_decl
+        return [_apply_stmt(table_name)]
+
+    def _const_args_for(
+        self, verdict: TableVerdict, info: TableInfo, action_name: str
+    ) -> Optional[dict[str, int]]:
+        """Constant action data for ``action_name``, or None if any varies."""
+        params = info.action_params.get(action_name, [])
+        consts = dict(verdict.const_params)
+        args: dict[str, int] = {}
+        for param in params:
+            value = consts.get((action_name, param.name))
+            if value is None:
+                return None
+            args[param.name] = value
+        return args
+
+    def _inline_action(
+        self, control: ast.ControlDecl, action_name: str, const_args: dict[str, int]
+    ) -> list:
+        action = _find_action(control, action_name)
+        widths = {
+            p.name: self.env.width_of(p.type) for p in action.params
+        }
+        substitution = {
+            name: ast.IntLit(value, widths[name])
+            for name, value in const_args.items()
+        }
+        body = [_subst_stmt(stmt, substitution) for stmt in action.body.statements]
+        return [s for s in body if not isinstance(s, ast.ReturnStmt)]
+
+    def _spec_switch(self, stmt: ast.SwitchStmt) -> list:
+        control = self._current
+        qualified = f"{control.name}.{stmt.table}"
+        verdict = self.table_verdicts.get(qualified)
+        info = self.model.tables.get(qualified)
+        prefix = self._spec_table_apply(stmt.table)
+        if verdict is None or info is None or verdict.overapproximated:
+            cases = tuple(
+                ast.SwitchCase(c.action, ast.Block(tuple(self._spec_block(c.body))))
+                for c in stmt.cases
+            )
+            return [ast.SwitchStmt(stmt.table, cases, pos=stmt.pos)]
+        feasible = verdict.feasible_actions
+        labelled = {c.action for c in stmt.cases if c.action is not None}
+        default_needed = bool(feasible - labelled)
+        kept_cases: list[ast.SwitchCase] = []
+        for case in stmt.cases:
+            if case.action is not None and case.action not in feasible:
+                self.report.removed_branches += 1
+                continue
+            if case.action is None and not default_needed:
+                self.report.removed_branches += 1
+                continue
+            kept_cases.append(
+                ast.SwitchCase(case.action, ast.Block(tuple(self._spec_block(case.body))))
+            )
+        table_inlined = stmt.table not in self._kept_tables
+        if len(feasible) == 1 and len(kept_cases) <= 1:
+            body = list(kept_cases[0].body.statements) if kept_cases else []
+            return prefix + body
+        if table_inlined:
+            # Table gone but multiple arms remain — cannot happen (a removed
+            # table implies a single feasible action); keep defensive path.
+            self._kept_tables[stmt.table] = _find_table(control, stmt.table)
+            prefix = [_apply_stmt(stmt.table)]
+        return [ast.SwitchStmt(stmt.table, tuple(kept_cases), pos=stmt.pos)]
+
+    # -- parser -----------------------------------------------------------------------
+
+    def _spec_parser(self, decl: ast.ParserDecl) -> ast.ParserDecl:
+        new_states: list[ast.ParserState] = []
+        for state in decl.states:
+            transition = state.transition
+            if isinstance(transition, ast.TransitionSelect):
+                transition = self._spec_select(transition)
+            new_states.append(
+                ast.ParserState(state.name, state.statements, transition)
+            )
+        reachable = _reachable_states(new_states)
+        kept = tuple(s for s in new_states if s.name in reachable)
+        return ast.ParserDecl(decl.name, decl.params, decl.locals, kept)
+
+    def _spec_select(self, select: ast.TransitionSelect) -> ast.Transition:
+        kept_cases: list[ast.SelectCase] = []
+        for case in select.cases:
+            verdict = self._verdict_for_node(id(case))
+            if verdict is not None and verdict.executability == NEVER:
+                self.report.removed_select_cases += 1
+                continue
+            kept_cases.append(case)
+            if verdict is not None and verdict.executability == ALWAYS:
+                break  # later cases are unreachable
+        if not kept_cases:
+            return ast.TransitionDirect(ast.REJECT)
+        if len(kept_cases) == 1 and (
+            kept_cases[0].keys and all(k.is_default for k in kept_cases[0].keys)
+        ):
+            return ast.TransitionDirect(kept_cases[0].state)
+        first = kept_cases[0]
+        first_verdict = self._verdict_for_node(id(first))
+        if first_verdict is not None and first_verdict.executability == ALWAYS:
+            return ast.TransitionDirect(first.state)
+        return ast.TransitionSelect(select.exprs, tuple(kept_cases))
+
+    # -- parser-tail pruning ----------------------------------------------------------
+
+    def _prune_parser_tail(self, program: ast.Program) -> ast.Program:
+        pipeline = program.pipeline
+        used = self._used_header_instances(program)
+        order = list(self.model.extracted_headers)
+        prunable: set[str] = set()
+        for header in reversed(order):
+            if header in used:
+                break
+            prunable.add(header)
+        if not prunable:
+            return program
+        self.report.pruned_headers.extend(h for h in order if h in prunable)
+        new_decls: list = []
+        for decl in program.declarations:
+            if isinstance(decl, ast.ParserDecl) and decl.name == pipeline.parser:
+                new_decls.append(_strip_extracts(decl, prunable))
+            else:
+                new_decls.append(decl)
+        return ast.Program(tuple(new_decls))
+
+    def _used_header_instances(self, program: ast.Program) -> set[str]:
+        """Header instances referenced anywhere outside their own extract."""
+        used: set[str] = set()
+        pipeline = program.pipeline
+        for decl in program.declarations:
+            if isinstance(decl, ast.ControlDecl) and decl.name in pipeline.controls:
+                _collect_header_refs(decl, used)
+            elif isinstance(decl, ast.ParserDecl) and decl.name == pipeline.parser:
+                for state in decl.states:
+                    if isinstance(state.transition, ast.TransitionSelect):
+                        for expr in state.transition.exprs:
+                            _collect_expr_headers(expr, used)
+        return used
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _target_name(expr) -> str:
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    raise TypeError(f"table target must be a bare name, got {expr!r}")
+
+
+def _apply_stmt(table_name: str) -> ast.MethodCallStmt:
+    return ast.MethodCallStmt(
+        ast.MethodCall(ast.Ident(table_name), "apply", ())
+    )
+
+
+def _match_apply_hit(cond) -> Optional[tuple[str, bool]]:
+    """Recognize ``t.apply().hit`` / ``t.apply().miss`` / negations."""
+    want = True
+    while isinstance(cond, ast.Unary) and cond.op == "!":
+        want = not want
+        cond = cond.expr
+    if (
+        isinstance(cond, ast.Member)
+        and cond.name in ("hit", "miss")
+        and isinstance(cond.expr, ast.MethodCall)
+        and cond.expr.method == "apply"
+        and isinstance(cond.expr.target, ast.Ident)
+    ):
+        if cond.name == "miss":
+            want = not want
+        return cond.expr.target.name, want
+    return None
+
+
+class SpecializeError(FlayError, KeyError):
+    """A specialization invariant failed (missing table/action)."""
+
+    default_stage = STAGE_SPECIALIZE
+
+
+def _find_table(control: ast.ControlDecl, name: str) -> ast.TableDecl:
+    for local in control.locals:
+        if isinstance(local, ast.TableDecl) and local.name == name:
+            return local
+    raise SpecializeError(f"control {control.name!r} has no table {name!r}")
+
+
+def _find_action(control: ast.ControlDecl, name: str) -> ast.ActionDecl:
+    for local in control.locals:
+        if isinstance(local, ast.ActionDecl) and local.name == name:
+            return local
+    raise SpecializeError(f"control {control.name!r} has no action {name!r}")
+
+
+def _subst_stmt(stmt, mapping: dict[str, ast.Expr]):
+    if isinstance(stmt, ast.AssignStmt):
+        return ast.AssignStmt(
+            _subst_expr(stmt.lhs, mapping), _subst_expr(stmt.rhs, mapping), pos=stmt.pos
+        )
+    if isinstance(stmt, ast.IfStmt):
+        return ast.IfStmt(
+            _subst_expr(stmt.cond, mapping),
+            ast.Block(tuple(_subst_stmt(s, mapping) for s in stmt.then.statements)),
+            ast.Block(tuple(_subst_stmt(s, mapping) for s in stmt.orelse.statements))
+            if stmt.orelse is not None
+            else None,
+            pos=stmt.pos,
+        )
+    if isinstance(stmt, ast.MethodCallStmt):
+        call = stmt.call
+        return ast.MethodCallStmt(
+            ast.MethodCall(
+                _subst_expr(call.target, mapping) if call.target is not None else None,
+                call.method,
+                tuple(_subst_expr(a, mapping) for a in call.args),
+            ),
+            pos=stmt.pos,
+        )
+    return stmt
+
+
+def _subst_expr(expr, mapping: dict[str, ast.Expr]):
+    if isinstance(expr, ast.Ident) and expr.name in mapping:
+        return mapping[expr.name]
+    if isinstance(expr, ast.Member):
+        return ast.Member(_subst_expr(expr.expr, mapping), expr.name)
+    if isinstance(expr, ast.Slice):
+        return ast.Slice(_subst_expr(expr.expr, mapping), expr.hi, expr.lo)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(expr.type, _subst_expr(expr.expr, mapping))
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _subst_expr(expr.expr, mapping))
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op, _subst_expr(expr.left, mapping), _subst_expr(expr.right, mapping)
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            _subst_expr(expr.cond, mapping),
+            _subst_expr(expr.then, mapping),
+            _subst_expr(expr.orelse, mapping),
+        )
+    if isinstance(expr, ast.MethodCall):
+        return ast.MethodCall(
+            _subst_expr(expr.target, mapping) if expr.target is not None else None,
+            expr.method,
+            tuple(_subst_expr(a, mapping) for a in expr.args),
+        )
+    return expr
+
+
+def _reachable_states(states: list[ast.ParserState]) -> set[str]:
+    by_name = {s.name: s for s in states}
+    reachable: set[str] = set()
+    stack = ["start"]
+    while stack:
+        name = stack.pop()
+        if name in reachable or name in (ast.ACCEPT, ast.REJECT):
+            continue
+        reachable.add(name)
+        state = by_name.get(name)
+        if state is None:
+            continue
+        transition = state.transition
+        if isinstance(transition, ast.TransitionDirect):
+            stack.append(transition.state)
+        else:
+            stack.extend(case.state for case in transition.cases)
+    return reachable
+
+
+def _strip_extracts(decl: ast.ParserDecl, prunable: set[str]) -> ast.ParserDecl:
+    new_states = []
+    for state in decl.states:
+        statements = tuple(
+            s
+            for s in state.statements
+            if not (
+                isinstance(s, ast.MethodCallStmt)
+                and s.call.method == "pkt_extract"
+                and _extract_target(s.call) in prunable
+            )
+        )
+        new_states.append(ast.ParserState(state.name, statements, state.transition))
+    return ast.ParserDecl(decl.name, decl.params, decl.locals, tuple(new_states))
+
+
+def _extract_target(call: ast.MethodCall) -> Optional[str]:
+    from repro.p4.types import lvalue_path
+
+    try:
+        return lvalue_path(call.args[0])
+    except Exception:
+        return None
+
+
+def _collect_header_refs(decl: ast.ControlDecl, used: set[str]) -> None:
+    def walk_block(block: ast.Block) -> None:
+        for stmt in block.statements:
+            walk_stmt(stmt)
+
+    def walk_stmt(stmt) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            _collect_expr_headers(stmt.lhs, used)
+            _collect_expr_headers(stmt.rhs, used)
+        elif isinstance(stmt, ast.IfStmt):
+            _collect_expr_headers(stmt.cond, used)
+            walk_block(stmt.then)
+            if stmt.orelse is not None:
+                walk_block(stmt.orelse)
+        elif isinstance(stmt, ast.MethodCallStmt):
+            call = stmt.call
+            if call.target is not None:
+                _collect_expr_headers(call.target, used)
+            for arg in call.args:
+                _collect_expr_headers(arg, used)
+        elif isinstance(stmt, ast.SwitchStmt):
+            for case in stmt.cases:
+                walk_block(case.body)
+
+    for local in decl.locals:
+        if isinstance(local, ast.ActionDecl):
+            walk_block(local.body)
+        elif isinstance(local, ast.TableDecl):
+            for key in local.keys:
+                _collect_expr_headers(key.expr, used)
+    walk_block(decl.apply)
+
+
+def _collect_expr_headers(expr, used: set[str]) -> None:
+    """Record ``<param>.<header>`` prefixes of member chains."""
+    if isinstance(expr, ast.Member):
+        chain: list[str] = []
+        node = expr
+        while isinstance(node, ast.Member):
+            chain.append(node.name)
+            node = node.expr
+        if isinstance(node, ast.Ident):
+            chain.append(node.name)
+            chain.reverse()
+            if len(chain) >= 2:
+                used.add(f"{chain[0]}.{chain[1]}")
+        return
+    if isinstance(expr, (ast.Unary, ast.Cast, ast.Slice)):
+        _collect_expr_headers(expr.expr, used)
+    elif isinstance(expr, ast.Binary):
+        _collect_expr_headers(expr.left, used)
+        _collect_expr_headers(expr.right, used)
+    elif isinstance(expr, ast.Ternary):
+        _collect_expr_headers(expr.cond, used)
+        _collect_expr_headers(expr.then, used)
+        _collect_expr_headers(expr.orelse, used)
+    elif isinstance(expr, ast.MethodCall):
+        if expr.target is not None:
+            _collect_expr_headers(expr.target, used)
+        for arg in expr.args:
+            _collect_expr_headers(arg, used)

@@ -1,29 +1,30 @@
-"""Diagnostics for the P4 front end."""
+"""Diagnostics for the P4 front end.
+
+All front-end errors root at :class:`repro.errors.FlayError`, carrying a
+pipeline ``stage`` and an optional :class:`SourcePos`.  ``SourcePos``
+itself now lives in :mod:`repro.errors` (the shared leaf module) and is
+re-exported here for the many front-end callers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.errors import (
+    FlayError,
+    STAGE_PARSE,
+    STAGE_TYPECHECK,
+    SourcePos,
+)
+
+__all__ = ["LexError", "P4Error", "ParseError", "SourcePos", "TypeCheckError"]
 
 
-@dataclass(frozen=True)
-class SourcePos:
-    """A position in a source file (1-based line/column)."""
-
-    line: int
-    column: int
-
-    def __str__(self) -> str:
-        return f"{self.line}:{self.column}"
-
-
-class P4Error(Exception):
+class P4Error(FlayError):
     """Base class for all front-end diagnostics."""
 
+    default_stage = STAGE_PARSE
+
     def __init__(self, message: str, pos: SourcePos | None = None) -> None:
-        self.pos = pos
-        if pos is not None:
-            message = f"{pos}: {message}"
-        super().__init__(message)
+        super().__init__(message, pos=pos)
 
 
 class LexError(P4Error):
@@ -36,3 +37,5 @@ class ParseError(P4Error):
 
 class TypeCheckError(P4Error):
     """Semantically invalid program (unknown name, width mismatch, ...)."""
+
+    default_stage = STAGE_TYPECHECK

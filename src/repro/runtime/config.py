@@ -26,12 +26,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import FlayError, STAGE_RUNTIME
 from repro.runtime.entries import ExactMatch, LpmMatch, TableEntry, TernaryMatch
 from repro.runtime.semantics import INSERT, Update, ValueSetUpdate
 
 
-class ConfigError(ValueError):
+class ConfigError(FlayError, ValueError):
     """Malformed configuration file."""
+
+    default_stage = STAGE_RUNTIME
 
 
 def parse_int(value) -> int:
@@ -127,8 +130,11 @@ def loads(text: str) -> Configuration:
 
 
 def load(path: str) -> Configuration:
-    with open(path) as handle:
-        return loads(handle.read())
+    try:
+        with open(path) as handle:
+            return loads(handle.read())
+    except OSError as exc:
+        raise ConfigError(f"cannot read configuration {path!r}: {exc}") from exc
 
 
 def dumps(config: Configuration) -> str:

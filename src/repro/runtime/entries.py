@@ -6,10 +6,13 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.analysis.model import TableInfo
+from repro.errors import FlayError, STAGE_RUNTIME
 
 
-class EntryError(ValueError):
+class EntryError(FlayError, ValueError):
     """An entry is malformed or incompatible with its table."""
+
+    default_stage = STAGE_RUNTIME
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ from typing import Iterator, Optional
 
 from repro.analysis.model import DataPlaneModel, TableInfo
 from repro.runtime.entries import ExactMatch, LpmMatch, TableEntry, TernaryMatch
-from repro.runtime.semantics import INSERT, Update
+from repro.runtime.semantics import DELETE, INSERT, MODIFY, Update
 
 
 class EntryFuzzer:
@@ -102,6 +102,51 @@ class EntryFuzzer:
             Update(info.name, INSERT, entry)
             for entry in self.unique_entries(table, count, action=action)
         ]
+
+    def update_stream(
+        self,
+        tables: Optional[list[str]] = None,
+        count: int = 50,
+        modify_fraction: float = 0.2,
+        delete_fraction: float = 0.2,
+    ) -> list[Update]:
+        """A mixed insert/modify/delete stream, valid against evolving state.
+
+        Tracks the entries it has inserted per table so that every MODIFY
+        and DELETE targets a live match key — the stream can be replayed
+        against a fresh :class:`ControlPlaneState` without ``EntryError``.
+        Used by the engine equivalence fuzz tests as a realistic workload.
+        """
+        names = tables if tables is not None else sorted(self.model.tables)
+        if not names:
+            return []
+        live: dict[str, dict] = {name: {} for name in names}
+        updates: list[Update] = []
+        while len(updates) < count:
+            table = self.rng.choice(names)
+            info = self.model.table(table)
+            installed = live[table]
+            roll = self.rng.random()
+            if installed and roll < delete_fraction:
+                key = self.rng.choice(sorted(installed))
+                updates.append(Update(info.name, DELETE, installed.pop(key)))
+            elif installed and roll < delete_fraction + modify_fraction:
+                key = self.rng.choice(sorted(installed))
+                old = installed[key]
+                replacement = self.entry(table, priority=old.priority)
+                replacement = TableEntry(
+                    old.matches, replacement.action, replacement.args, old.priority
+                )
+                installed[key] = replacement
+                updates.append(Update(info.name, MODIFY, replacement))
+            else:
+                entry = self.entry(table)
+                key = entry.match_key()
+                if key in installed:
+                    continue
+                installed[key] = entry
+                updates.append(Update(info.name, INSERT, entry))
+        return updates
 
     # -- match generators ----------------------------------------------------
 

@@ -31,9 +31,13 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.errors import FlayError, STAGE_QUERY
 
-class SortError(TypeError):
+
+class SortError(FlayError, TypeError):
     """Raised when an operator is applied to terms of the wrong sort."""
+
+    default_stage = STAGE_QUERY
 
 
 class Term:

@@ -1,1 +1,16 @@
-"""Device targets: the BMv2 interpreter and the Tofino RMT model."""
+"""Device targets: the BMv2 interpreter and the Tofino RMT model.
+
+Every backend implements the :class:`~repro.targets.base.Target` ABC and
+registers itself by name; resolve names with :func:`create_target`.
+"""
+
+from repro.targets.base import (
+    LoweredUpdate,
+    NO_TARGET,
+    Target,
+    TargetError,
+    UnknownTargetError,
+    available_targets,
+    create_target,
+    register_target,
+)

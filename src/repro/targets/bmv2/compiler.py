@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.ir.metrics import measure
 from repro.p4 import ast_nodes as ast
+from repro.targets.base import Target
 
 
 @dataclass
@@ -20,8 +21,11 @@ class Bmv2CompileReport:
         return f"{self.program_name}: modeled {self.modeled_seconds:.2f} s (bmv2)"
 
 
-class Bmv2Compiler:
+class Bmv2Compiler(Target):
     """p4c-bm2-ss stand-in: compiles are cheap, roughly linear in size."""
+
+    name = "bmv2"
+    update_micros = 25.0  # software-switch RPC write
 
     def __init__(self, program_name: str = "program") -> None:
         self.program_name = program_name

@@ -12,6 +12,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import FlayError, STAGE_INTERPRET
 from repro.p4 import ast_nodes as ast
 from repro.p4.errors import TypeCheckError
 from repro.p4.types import TypeEnv, eval_const_expr, lvalue_path
@@ -25,8 +26,10 @@ VALID_SUFFIX = ".$valid"
 _MAX_PARSER_STEPS = 512
 
 
-class InterpreterError(RuntimeError):
+class InterpreterError(FlayError, RuntimeError):
     """The program used a construct the interpreter cannot execute."""
+
+    default_stage = STAGE_INTERPRET
 
 
 class _ExitPipeline(Exception):

@@ -23,6 +23,7 @@ from repro.ir.deps import build_dependency_graph
 from repro.ir.metrics import measure
 from repro.p4 import ast_nodes as ast
 from repro.p4.types import TypeEnv
+from repro.targets.base import Target
 from repro.targets.tofino.allocator import allocate
 from repro.targets.tofino.resources import PipelineSpec, ResourceReport, TOFINO2
 
@@ -81,8 +82,11 @@ class CostModel:
         )
 
 
-class TofinoCompiler:
+class TofinoCompiler(Target):
     """Whole-program ("from scratch") compiler for the RMT target."""
+
+    name = "tofino"
+    update_micros = 8.0  # ASIC driver table write
 
     def __init__(
         self,
@@ -119,3 +123,8 @@ class TofinoCompiler:
             statements=metrics.statements,
             tables=resources.total_tables,
         )
+
+    def resources(self, program: ast.Program) -> ResourceReport:
+        env = TypeEnv(program)
+        graph = build_dependency_graph(program, env)
+        return allocate(program, self.spec, env, graph=graph)

@@ -24,6 +24,7 @@ from repro.ir.metrics import measure
 from repro.p4 import ast_nodes as ast
 from repro.p4.printer import print_stmt
 from repro.p4.types import TypeEnv
+from repro.targets.base import Target
 from repro.targets.tofino.allocator import allocate
 from repro.targets.tofino.compiler import CompileReport, CostModel, TofinoCompiler
 from repro.targets.tofino.resources import PipelineSpec, TOFINO2
@@ -155,13 +156,16 @@ class IncrementalCostModel:
     parser_rebuild_seconds: float = 6.0
 
 
-class IncrementalTofinoCompiler:
+class IncrementalTofinoCompiler(Target):
     """A device compiler that recompiles only what changed.
 
     Drop-in for :class:`TofinoCompiler` in the Flay runtime: the first
     ``compile`` is monolithic (there is nothing to diff against); later
     calls are charged per changed table.
     """
+
+    name = "tofino-incremental"
+    update_micros = 8.0
 
     def __init__(
         self,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import FlayError, STAGE_LOWER
+
 
 @dataclass(frozen=True)
 class PipelineSpec:
@@ -64,8 +66,10 @@ class StageUsage:
         )
 
 
-class ResourceError(RuntimeError):
+class ResourceError(FlayError, RuntimeError):
     """The program does not fit the pipeline."""
+
+    default_stage = STAGE_LOWER
 
 
 @dataclass

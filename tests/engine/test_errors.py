@@ -1,0 +1,130 @@
+"""The structured error layer: one FlayError root, stages, eager validation."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.model import UnknownTableError
+from repro.analysis.symexec import AnalysisError
+from repro.core import Flay, FlayOptions
+from repro.errors import FlayError, OptionsError, SourcePos
+from repro.p4.errors import ParseError, TypeCheckError
+from repro.p4.parser import parse_program
+from repro.runtime.config import ConfigError, loads
+from repro.runtime.entries import EntryError
+from repro.smt.terms import SortError
+from repro.targets.base import UnknownTargetError, available_targets
+from repro.targets.bmv2.interpreter import InterpreterError
+from repro.targets.tofino.resources import ResourceError
+
+SOURCE = """
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action noop() { }
+    table t {
+        key = { hdr.h.f: exact; }
+        actions = { noop; }
+        default_action = noop();
+    }
+    apply { t.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+class TestHierarchy:
+    def test_every_subsystem_error_roots_at_flay_error(self):
+        for exc_type in (
+            ParseError,
+            TypeCheckError,
+            AnalysisError,
+            EntryError,
+            ConfigError,
+            InterpreterError,
+            SortError,
+            ResourceError,
+            UnknownTableError,
+            UnknownTargetError,
+            OptionsError,
+        ):
+            assert issubclass(exc_type, FlayError), exc_type
+
+    def test_builtin_bases_survive_for_legacy_catchers(self):
+        assert issubclass(EntryError, ValueError)
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(UnknownTableError, KeyError)
+        assert issubclass(SortError, TypeError)
+        assert issubclass(InterpreterError, RuntimeError)
+        assert issubclass(ResourceError, RuntimeError)
+
+    def test_stage_and_pos_are_structured(self):
+        exc = ParseError("unexpected token", SourcePos(3, 7))
+        assert exc.stage == "parse"
+        assert exc.pos == SourcePos(3, 7)
+        assert str(exc) == "3:7: unexpected token"
+        assert exc.describe() == "[parse] 3:7: unexpected token"
+
+    def test_key_error_subclass_renders_without_quoting(self):
+        exc = UnknownTableError("no table named 'acl'")
+        assert str(exc) == "no table named 'acl'"
+        assert exc.describe().startswith("[runtime]")
+
+
+class TestEagerValidation:
+    def test_unknown_target_fails_at_construction(self):
+        program = parse_program(SOURCE)
+        with pytest.raises(UnknownTargetError) as err:
+            Flay(program, FlayOptions(target="p4c-xdp"))
+        message = str(err.value)
+        for name in available_targets():
+            assert name in message
+
+    def test_unknown_target_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            Flay(parse_program(SOURCE), FlayOptions(target="nope"))
+
+    def test_bad_effort_is_an_options_error(self):
+        with pytest.raises(OptionsError) as err:
+            Flay(parse_program(SOURCE), FlayOptions(target="none", effort="max"))
+        assert "effort" in str(err.value)
+
+    def test_all_registered_targets_resolve(self):
+        from repro.targets.base import Target, create_target
+
+        for name in available_targets():
+            assert isinstance(create_target(name), Target)
+
+
+class TestUserReachablePaths:
+    def test_model_lookup_raises_typed_key_error(self):
+        flay = Flay(parse_program(SOURCE), FlayOptions(target="none"))
+        with pytest.raises(UnknownTableError):
+            flay.model.table("no_such_table")
+        with pytest.raises(UnknownTableError):
+            flay.model.value_set("no_such_set")
+
+    def test_config_errors_are_flay_errors(self):
+        with pytest.raises(FlayError):
+            loads("not json")
+        with pytest.raises(ConfigError):
+            loads('{"unknown_section": {}}')
+
+    def test_missing_config_file_is_a_config_error(self, tmp_path):
+        from repro.runtime.config import load
+
+        with pytest.raises(ConfigError) as err:
+            load(str(tmp_path / "does-not-exist.json"))
+        assert "does-not-exist" in str(err.value)
+
+    def test_cli_reports_flay_errors_as_exit_2(self, capsys):
+        assert main(["compile", "corpus:fig3", "--target", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "bogus" in err
+
+    def test_cli_specialize_validates_target_eagerly(self, capsys):
+        assert main(["specialize", "corpus:fig3", "--target", "bogus"]) == 2
+        assert "registered backends" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""CI smoke check: the staged engine runs cold + warm and emits events.
+
+Exercises the full cold pipeline (parse → typecheck → analyze → encode →
+specialize → lower) and the warm per-update path against a corpus
+program, and asserts the typed event stream is non-empty and well-formed.
+Exits non-zero on any violation; prints the event summary on success.
+"""
+
+import sys
+
+from repro.core import Flay, FlayOptions
+from repro.engine import (
+    EventBus,
+    PassFinished,
+    PassStarted,
+    TargetCompiled,
+    UpdateProcessed,
+)
+from repro.programs import registry
+from repro.runtime.fuzzer import EntryFuzzer
+
+
+def main() -> int:
+    bus = EventBus()
+    log = bus.attach_log()
+    flay = Flay(registry.load("fig3"), FlayOptions(target="tofino"), bus=bus)
+
+    cold = [e.pass_name for e in log.of_type(PassFinished)]
+    assert cold == [
+        "parse", "typecheck", "analyze", "encode", "specialize", "lower",
+    ], f"unexpected cold pipeline: {cold}"
+    assert log.count(TargetCompiled) == 1, "cold lowering must compile once"
+
+    fuzzer = EntryFuzzer(flay.model, seed=0)
+    table = sorted(flay.model.tables)[0]
+    for update in fuzzer.insert_burst(table, 5):
+        flay.process_update(update)
+    flay.process_batch(fuzzer.insert_burst(table, 20))
+
+    outcomes = log.of_type(UpdateProcessed)
+    assert len(outcomes) == 6, f"expected 6 outcomes, got {len(outcomes)}"
+    assert outcomes[-1].kind == "batch" and outcomes[-1].update_count == 20
+    assert all(o.forwarded != o.recompiled for o in outcomes)
+    assert any(e.stage == "warm" for e in log.of_type(PassStarted))
+    assert len(log) > 0, "event stream must be non-empty"
+
+    print(f"engine smoke OK: {len(log)} events — {log.summary()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
