@@ -5,8 +5,10 @@ Commands:
 * ``stats <prog.p4>`` — program metrics (statements, tables, paths).
 * ``analyze <prog.p4>`` — run the data-plane analysis, print point counts
   and timings (optionally dump the annotated points).
-* ``specialize <prog.p4> [--config cfg.json]`` — specialize against a
-  JSON control-plane configuration and print (or write) the result.
+* ``specialize <prog.p4> [--config cfg.json] [--batch --workers N]`` —
+  specialize against a JSON control-plane configuration and print (or
+  write) the result; ``--batch`` routes the configuration through the
+  coalescing, conflict-group-parallel batch scheduler.
 * ``compile <prog.p4> [--target tofino|bmv2]`` — device-compile and print
   the resource/time report.
 * ``corpus`` — list the bundled evaluation programs.
@@ -81,7 +83,12 @@ def cmd_specialize(args) -> int:
     flay = Flay(program, options, bus=bus)
     if args.config:
         configuration = config_mod.load(args.config)
-        decision = flay.process_batch(configuration.updates())
+        if args.batch:
+            decision = flay.apply_batch(
+                configuration.updates(), workers=args.workers
+            )
+        else:
+            decision = flay.process_batch(configuration.updates())
         print(f"# config: {decision.describe()}", file=sys.stderr)
     print(f"# specializations: {flay.report.summary()}", file=sys.stderr)
     if args.stats:
@@ -165,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print pipeline events and cache hit/miss statistics to stderr",
+    )
+    p_spec.add_argument(
+        "--batch",
+        action="store_true",
+        help="apply the --config updates through the batch scheduler "
+        "(coalescing + conflict-group parallelism)",
+    )
+    p_spec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker-pool width for --batch (default: 1)",
     )
     p_spec.add_argument(
         "--target",

@@ -14,6 +14,18 @@ errors root at :class:`~repro.errors.FlayError` and carry the pipeline
 stage that raised them.
 """
 
+from repro.engine.batch import (
+    BatchReport,
+    CoalescedOp,
+    CoalesceResult,
+    ConflictGroup,
+    GroupDecision,
+    WorkerSlice,
+    coalesce,
+    conflict_components,
+    partition,
+    schedule_batch,
+)
 from repro.engine.context import (
     EngineContext,
     EngineOptions,
@@ -23,6 +35,8 @@ from repro.engine.context import (
 from repro.engine.engine import Engine
 from repro.engine.errors import FlayError, OptionsError, SourcePos
 from repro.engine.events import (
+    BatchMerged,
+    BatchScheduled,
     CacheActivity,
     Event,
     EventBus,

@@ -1,0 +1,713 @@
+"""Batched, dependency-aware parallel update processing (the warm path at burst scale).
+
+Real control planes deliver updates in *bursts* — route flaps, table
+rollouts — and the per-update warm path serializes them even when they
+touch independent tables.  This module is the burst scheduler:
+
+1. **Coalesce** — redundant updates are folded per ``(table, match key)``:
+   insert-then-delete cancels, modify-after-insert collapses into the
+   insert, repeated modifies keep the last write.  Value-set updates are
+   last-write-wins per set.  Coalescing never reorders the surviving
+   updates relative to each other (each keeps the input index of the
+   operation that anchors it), so replaying the coalesced stream produces
+   the exact same control-plane state — including the insertion order an
+   exact-match table's precedence depends on.
+2. **Partition** — the survivors are split into *conflict groups*: two
+   updates share a group iff their tables (or value sets) can influence a
+   common program point (the model's control-variable taint index), or are
+   linked in the :mod:`repro.ir.deps` table dependency graph.  Groups are
+   independent by construction: no program point, control symbol, or memo
+   entry is touched by two groups.
+3. **Execute** — independent groups run concurrently on a
+   :mod:`concurrent.futures` worker pool.  Each worker gets a private
+   :class:`WorkerSlice` over the shared :class:`EngineContext`: a
+   copy-on-write view of the delta-substitution memo plus layered
+   verdict/solver caches, so nothing shared is written while siblings
+   read.  The hash-consing term factory *is* shared (its interning is a
+   single atomic dict operation), which keeps term identity — and
+   therefore every downstream memo key — consistent across workers.
+4. **Merge** — after the pool joins, worker cache deltas are folded back
+   into the shared context on the main thread, in deterministic group
+   order (first-seen input index), and verdict changes are collected.
+
+Results are deterministic and byte-identical to sequential processing:
+verdicts and the specialized program are pure functions of the final
+control-plane state, and forwarded updates are lowered in their original
+input order — not per-group — so the device sees the exact stream a
+sequential warm path would have sent.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.context import EngineContext
+from repro.engine.events import BatchMerged, BatchScheduled, TargetCompiled
+from repro.engine.queries import QueryEngine
+from repro.ir.deps import build_dependency_graph
+from repro.runtime.entries import EntryError
+from repro.runtime.semantics import (
+    DELETE,
+    INSERT,
+    MODIFY,
+    Update,
+    ValueSetUpdate,
+    encode_table,
+    encode_value_set,
+)
+from repro.smt.solver import Solver
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoalescedOp:
+    """One net update surviving coalescing.
+
+    ``anchor`` is the input index that fixes this op's position in the
+    coalesced order (for inserts, the index of the insert that determines
+    the entry's precedence position); ``sources`` are the input indices of
+    every original update folded into it.
+    """
+
+    update: object  # Update | ValueSetUpdate
+    anchor: int
+    sources: tuple
+
+
+@dataclass
+class CoalesceResult:
+    ops: list  # CoalescedOps, sorted by anchor
+    input_count: int
+
+    @property
+    def output_count(self) -> int:
+        return len(self.ops)
+
+    @property
+    def folded_count(self) -> int:
+        """Input updates that no longer appear as their own net op."""
+        return self.input_count - len(self.ops)
+
+
+class _Slot:
+    """Per-(table, key) fold state: at most one net delete + one upsert."""
+
+    __slots__ = ("live", "ever_touched", "delete", "upsert")
+
+    def __init__(self) -> None:
+        self.live: Optional[bool] = None  # None until the first op
+        self.ever_touched = False
+        self.delete = None  # (anchor, entry, sources)
+        self.upsert = None  # (op, anchor, entry, sources)
+
+
+def coalesce(
+    updates: list,
+    resolve_table: Optional[Callable[[str], str]] = None,
+    resolve_value_set: Optional[Callable[[str], str]] = None,
+) -> CoalesceResult:
+    """Fold a burst into its net updates (see the module docstring).
+
+    Within-batch-inconsistent sequences (insert of a live key, modify or
+    delete of a key the batch already deleted) raise :class:`EntryError`
+    up front — exactly the sequences sequential application would reject —
+    before any state is touched, which makes a batch all-or-nothing.
+    Validity that depends on pre-batch state (e.g. the first delete of a
+    key) is still checked when the net ops apply, as in the sequential
+    path.
+    """
+    table_of = resolve_table if resolve_table is not None else lambda name: name
+    vs_of = resolve_value_set if resolve_value_set is not None else lambda name: name
+    slots: dict[tuple, _Slot] = {}
+    value_sets: dict[str, list] = {}  # name -> [anchor, values, sources]
+    for index, update in enumerate(updates):
+        if isinstance(update, ValueSetUpdate):
+            name = vs_of(update.value_set)
+            slot = value_sets.get(name)
+            if slot is None:
+                value_sets[name] = [index, update.values, [index]]
+            else:
+                slot[1] = update.values  # last write wins
+                slot[2].append(index)
+            continue
+        table = table_of(update.table)
+        key = (table, update.entry.match_key())
+        slot = slots.setdefault(key, _Slot())
+        if update.op == INSERT:
+            if slot.live:
+                raise EntryError(
+                    f"batch inserts {table} key {key[1]} twice without a delete"
+                )
+            slot.live = True
+            slot.upsert = (INSERT, index, update.entry, [index])
+        elif update.op == MODIFY:
+            if slot.live is False or (slot.live is None and slot.ever_touched):
+                raise EntryError(
+                    f"batch modifies {table} key {key[1]} after deleting it"
+                )
+            if slot.upsert is not None:
+                op, anchor, _, sources = slot.upsert
+                slot.upsert = (op, anchor, update.entry, sources + [index])
+            else:
+                slot.upsert = (MODIFY, index, update.entry, [index])
+            slot.live = True
+        elif update.op == DELETE:
+            if slot.live is False:
+                raise EntryError(
+                    f"batch deletes {table} key {key[1]} twice"
+                )
+            if slot.upsert is not None and slot.upsert[0] == INSERT:
+                # insert-then-delete: the pair vanishes entirely.
+                slot.upsert = None
+            else:
+                if slot.upsert is not None:  # a net modify, now deleted
+                    slot.upsert = None
+                slot.delete = (index, update.entry, [index])
+            slot.live = False
+        else:
+            raise EntryError(f"unknown update op {update.op!r}")
+        slot.ever_touched = True
+
+    ops: list[CoalescedOp] = []
+    for (table, _key), slot in slots.items():
+        if slot.delete is not None:
+            anchor, entry, sources = slot.delete
+            ops.append(
+                CoalescedOp(Update(table, DELETE, entry), anchor, tuple(sources))
+            )
+        if slot.upsert is not None:
+            op, anchor, entry, sources = slot.upsert
+            ops.append(
+                CoalescedOp(Update(table, op, entry), anchor, tuple(sources))
+            )
+    for name, (anchor, values, sources) in value_sets.items():
+        ops.append(
+            CoalescedOp(ValueSetUpdate(name, tuple(values)), anchor, tuple(sources))
+        )
+    ops.sort(key=lambda op: op.anchor)
+    return CoalesceResult(ops=ops, input_count=len(updates))
+
+
+# ---------------------------------------------------------------------------
+# Conflict partitioning
+# ---------------------------------------------------------------------------
+
+
+def conflict_components(
+    model, program=None, env=None, *, strict: bool = False
+) -> dict[str, str]:
+    """Map every table and value set to its conflict-component root.
+
+    Two entities land in the same component when they can taint a common
+    program point.  That criterion is semantically complete: symbolic
+    execution records *every* control symbol occurring in a point's
+    expression, so a table whose entries can influence another table's
+    verdict (e.g. by writing a field the other matches on) shares a
+    tainted point with it — and any substituted subterm mixing two
+    tables' control symbols lives under a point tainted by both, which is
+    what makes the per-group memo grafts conflict-free.
+
+    ``strict=True`` additionally merges tables linked by the
+    :mod:`repro.ir.deps` match/action dependency graph.  Those edges are
+    *syntactic* (field-level reads/writes without kill tracking), so they
+    over-merge heavily — on the scion program they collapse 28 taint
+    components into one, serializing the whole batch — but they can never
+    miss a conflict the taint index sees, which makes the strict mode a
+    differential-testing oracle for the default partition.
+    """
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    infos = list(model.tables.items()) + list(model.value_sets.items())
+    for name, _info in infos:
+        parent[name] = name
+    owner_by_pid: dict[str, str] = {}
+    for name, info in infos:
+        for var in info.control_var_names():
+            for pid in model.taint.get(var, ()):
+                owner = owner_by_pid.setdefault(pid, name)
+                if owner != name:
+                    union(owner, name)
+    if strict and program is not None:
+        try:
+            graph = build_dependency_graph(program, env)
+        except Exception:
+            graph = None  # partial front ends still get taint-based groups
+        if graph is not None:
+            for edge in graph.edges:
+                if edge.src in model.tables and edge.dst in model.tables:
+                    union(edge.src, edge.dst)
+    return {name: find(name) for name, _info in infos}
+
+
+@dataclass
+class ConflictGroup:
+    """One independent unit of warm-path work."""
+
+    index: int
+    ops: list  # CoalescedOps, anchor order
+    tables: list = field(default_factory=list)  # sorted touched table names
+    value_sets: list = field(default_factory=list)
+
+    @property
+    def anchor(self) -> int:
+        return self.ops[0].anchor if self.ops else 0
+
+    @property
+    def source_count(self) -> int:
+        return sum(len(op.sources) for op in self.ops)
+
+
+def partition(ctx: EngineContext, coalesced: CoalesceResult) -> list:
+    """Split net updates into conflict groups, ordered by first input index."""
+    components = ctx.batch_components
+    if components is None:
+        components = conflict_components(ctx.model, ctx.program, ctx.env)
+        ctx.batch_components = components
+    buckets: dict[str, list] = {}
+    order: list[str] = []
+    for op in coalesced.ops:
+        if isinstance(op.update, ValueSetUpdate):
+            name = ctx.model.value_set(op.update.value_set).name
+        else:
+            name = ctx.model.table(op.update.table).name
+        root = components[name]
+        if root not in buckets:
+            buckets[root] = []
+            order.append(root)
+        buckets[root].append(op)
+    groups: list[ConflictGroup] = []
+    for index, root in enumerate(order):
+        group = ConflictGroup(index=index, ops=buckets[root])
+        tables: set = set()
+        value_sets: set = set()
+        for op in group.ops:
+            if isinstance(op.update, ValueSetUpdate):
+                value_sets.add(ctx.model.value_set(op.update.value_set).name)
+            else:
+                tables.add(ctx.model.table(op.update.table).name)
+        group.tables = sorted(tables)
+        group.value_sets = sorted(value_sets)
+        groups.append(group)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Worker slices — layered caches over the shared context
+# ---------------------------------------------------------------------------
+
+
+class LayeredCache:
+    """Read-through overlay on a term-keyed cache dict; writes stay local."""
+
+    def __init__(self, base: dict) -> None:
+        self.base = base
+        self.delta: dict = {}
+
+    def get(self, key, default=None):
+        found = self.delta.get(key)
+        if found is not None:
+            return found
+        return self.base.get(key, default)
+
+    def __getitem__(self, key):
+        found = self.get(key)
+        if found is None:
+            raise KeyError(key)
+        return found
+
+    def __setitem__(self, key, value) -> None:
+        self.delta[key] = value
+
+    def __contains__(self, key) -> bool:
+        return key in self.delta or key in self.base
+
+    def __len__(self) -> int:
+        return len(self.base) + len(self.delta)
+
+
+class LayeredMemo:
+    """Read-through overlay on an ``id()``-keyed memo (simplify memos)."""
+
+    def __init__(self, base: dict) -> None:
+        self.base = base
+        self.delta: dict = {}
+
+    def __contains__(self, key) -> bool:
+        return key in self.delta or key in self.base
+
+    def __getitem__(self, key):
+        found = self.delta.get(key)
+        if found is not None:
+            return found
+        return self.base[key]
+
+    def get(self, key, default=None):
+        found = self.delta.get(key)
+        if found is not None:
+            return found
+        return self.base.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        if key not in self.base:
+            self.delta[key] = value
+
+
+class WorkerSlice:
+    """Per-worker view of the shared engine state.
+
+    The slice owns everything a conflict group's warm work writes: a
+    copy-on-write substitution view, a private query engine whose
+    executability/solver/simplify caches are layered over the shared
+    ones, and a private CNF encoder (Tseitin variable numbering cannot be
+    shared across threads).  The immutable inputs — the data-plane model,
+    the control-plane state of *this group's* tables, and the hash-consed
+    term factory — are shared.
+    """
+
+    def __init__(self, ctx: EngineContext) -> None:
+        shared_qe = ctx.query_engine
+        self.substitution = ctx.substitution.fork_slice()
+        solver = Solver(
+            use_interval_precheck=shared_qe.solver.use_interval_precheck,
+            max_decisions=shared_qe.solver.max_decisions,
+            share_encodings=shared_qe.solver.share_encodings,
+        )
+        solver._results = LayeredCache(shared_qe.solver._results)
+        self.query_engine = QueryEngine(
+            ctx.model,
+            solver=solver,
+            use_solver=shared_qe.use_solver,
+            solver_node_budget=shared_qe.solver_node_budget,
+        )
+        self.query_engine._exec_cache = LayeredCache(shared_qe._exec_cache)
+        self.query_engine._simplify_memo = LayeredMemo(shared_qe._simplify_memo)
+
+    def merge_into(self, ctx: EngineContext) -> tuple[int, int]:
+        """Fold this slice's cache deltas into the shared context.
+
+        Runs on the main thread after the pool joins.  Returns
+        ``(memo_entries, verdict_entries)`` grafted, for the
+        :class:`~repro.engine.events.BatchMerged` event.
+        """
+        memo_entries = ctx.substitution.absorb(self.substitution)
+        shared_qe = ctx.query_engine
+        qe = self.query_engine
+        verdict_entries = len(qe._exec_cache.delta) + len(qe.solver._results.delta)
+        shared_qe._exec_cache.update(qe._exec_cache.delta)
+        shared_qe._simplify_memo.update(qe._simplify_memo.delta)
+        shared_qe.solver._results.update(qe.solver._results.delta)
+        shared_qe.exec_counter.hit(qe.exec_counter.hits)
+        shared_qe.exec_counter.miss(qe.exec_counter.misses)
+        shared = shared_qe.solver
+        shared.cache_counter.hit(qe.solver.cache_counter.hits)
+        shared.cache_counter.miss(qe.solver.cache_counter.misses)
+        shared.cnf_counter.hit(qe.solver.cnf_counter.hits)
+        shared.cnf_counter.miss(qe.solver.cnf_counter.misses)
+        shared.stats.by_simplify += qe.solver.stats.by_simplify
+        shared.stats.by_interval += qe.solver.stats.by_interval
+        shared.stats.by_sat += qe.solver.stats.by_sat
+        shared.stats.by_cache += qe.solver.stats.by_cache
+        return memo_entries, verdict_entries
+
+
+# ---------------------------------------------------------------------------
+# Group execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GroupOutcome:
+    """Everything one worker computed for its group."""
+
+    group: ConflictGroup
+    slice: WorkerSlice
+    mapping: dict
+    assignments: dict
+    point_verdicts: dict
+    table_verdicts: dict
+    changed_tables: list
+    changed_points: list
+    affected: set
+
+    @property
+    def changed(self) -> list:
+        """Batch order: tables before points (the historical format)."""
+        return self.changed_tables + self.changed_points
+
+
+def run_group(ctx: EngineContext, group: ConflictGroup, piece: WorkerSlice) -> GroupOutcome:
+    """The warm path of one conflict group, against a worker slice.
+
+    The control-plane state was already mutated on the main thread; this
+    function only *reads* shared state (its own group's tables) and
+    writes the slice.
+    """
+    model = ctx.model
+    mapping: dict = {}
+    assignments: dict = {}
+    touched_vars: set = set()
+    for op in group.ops:  # anchor order: later value-set writes win
+        if isinstance(op.update, ValueSetUpdate):
+            info = model.value_set(op.update.value_set)
+            mapping.update(
+                encode_value_set(info, ctx.state.value_sets[info.name])
+            )
+            touched_vars.update(info.control_var_names())
+    for name in group.tables:
+        info = model.tables[name]
+        assignment = encode_table(
+            info, ctx.state.tables[name], ctx.options.overapprox_threshold
+        )
+        assignments[name] = assignment
+        mapping.update(assignment.mapping)
+        touched_vars.update(info.control_var_names())
+    piece.substitution.set_many(mapping)
+
+    affected = model.points_for_control_vars(touched_vars)
+    point_verdicts: dict = {}
+    changed_points: list = []
+    for pid in sorted(affected):
+        verdict = piece.query_engine.point_verdict(
+            model.points[pid], piece.substitution
+        )
+        if not verdict.same_specialization(ctx.point_verdicts[pid]):
+            changed_points.append(pid)
+        point_verdicts[pid] = verdict
+
+    table_verdicts: dict = {}
+    changed_tables: list = []
+    for name in group.tables:
+        info = model.tables[name]
+        verdict = piece.query_engine.table_verdict(
+            info, assignments[name], ctx.state.tables[name]
+        )
+        if not verdict.same_specialization(ctx.table_verdicts[name]):
+            changed_tables.append(name)
+        table_verdicts[name] = verdict
+
+    return GroupOutcome(
+        group=group,
+        slice=piece,
+        mapping=mapping,
+        assignments=assignments,
+        point_verdicts=point_verdicts,
+        table_verdicts=table_verdicts,
+        changed_tables=changed_tables,
+        changed_points=changed_points,
+        affected=affected,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Decisions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GroupDecision:
+    """Per-group outcome recorded on the batch report."""
+
+    index: int
+    tables: tuple
+    value_sets: tuple
+    net_updates: int  # coalesced ops executed
+    source_updates: int  # original updates folded into them
+    affected_points: int
+    changed: list
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one scheduled batch (the ``apply_batch`` decision)."""
+
+    update_count: int  # updates as submitted
+    coalesced_count: int  # net updates after coalescing
+    group_count: int
+    workers: int
+    affected_points: int
+    changed: list  # table names + pids whose verdict changed, group order
+    recompiled: bool
+    elapsed_ms: float = 0.0
+    compile_report: object = None
+    groups: list = field(default_factory=list)  # GroupDecisions
+
+    @property
+    def forwarded(self) -> bool:
+        return not self.recompiled
+
+    @property
+    def updates(self) -> int:
+        return self.update_count
+
+    def describe(self) -> str:
+        action = "RECOMPILE" if self.recompiled else "forward"
+        return (
+            f"{action}: batch of {self.update_count} updates "
+            f"({self.coalesced_count} after coalescing, "
+            f"{self.group_count} conflict groups, {self.workers} workers), "
+            f"{self.affected_points} points checked, "
+            f"{len(self.changed)} changed, {self.elapsed_ms:.1f} ms"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+
+def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> BatchReport:
+    """Coalesce, partition, execute, and merge one burst of updates.
+
+    ``workers`` bounds the pool width; with one worker (or one group) the
+    groups run inline on the calling thread through the same code path,
+    so single- and multi-worker runs are byte-identical by construction.
+    """
+    start = time.perf_counter()
+    updates = list(updates)
+    workers = max(1, int(workers))
+    model = ctx.model
+    coalesced = coalesce(
+        updates,
+        resolve_table=lambda name: model.table(name).name,
+        resolve_value_set=lambda name: model.value_set(name).name,
+    )
+    groups = partition(ctx, coalesced)
+    if ctx.bus.active:
+        ctx.bus.emit(
+            BatchScheduled(
+                update_count=len(updates),
+                coalesced_count=coalesced.output_count,
+                group_count=len(groups),
+                workers=workers,
+            )
+        )
+
+    # State mutation happens up front, on the calling thread, in anchor
+    # order — workers then only read their own group's tables.
+    for op in coalesced.ops:
+        if isinstance(op.update, ValueSetUpdate):
+            ctx.state.apply_value_set_update(op.update)
+        else:
+            ctx.state.apply_update(op.update)
+
+    slices = [WorkerSlice(ctx) for _ in groups]
+    if workers == 1 or len(groups) <= 1:
+        outcomes = [
+            run_group(ctx, group, piece) for group, piece in zip(groups, slices)
+        ]
+    else:
+        with ThreadPoolExecutor(max_workers=min(workers, len(groups))) as pool:
+            futures = [
+                pool.submit(run_group, ctx, group, piece)
+                for group, piece in zip(groups, slices)
+            ]
+            outcomes = [future.result() for future in futures]
+
+    # Merge, in deterministic group order.
+    merge_start = time.perf_counter()
+    changed: list = []
+    affected: set = set()
+    memo_entries = 0
+    verdict_entries = 0
+    group_decisions: list = []
+    for outcome in outcomes:
+        ctx.mapping.update(outcome.mapping)
+        ctx.table_assignments.update(outcome.assignments)
+        grafted_memo, grafted_verdicts = outcome.slice.merge_into(ctx)
+        memo_entries += grafted_memo
+        verdict_entries += grafted_verdicts
+        ctx.point_verdicts.update(outcome.point_verdicts)
+        ctx.table_verdicts.update(outcome.table_verdicts)
+        changed.extend(outcome.changed)
+        affected |= outcome.affected
+        group_decisions.append(
+            GroupDecision(
+                index=outcome.group.index,
+                tables=tuple(outcome.group.tables),
+                value_sets=tuple(outcome.group.value_sets),
+                net_updates=len(outcome.group.ops),
+                source_updates=outcome.group.source_count,
+                affected_points=len(outcome.affected),
+                changed=outcome.changed,
+            )
+        )
+    if ctx.bus.active:
+        ctx.bus.emit(
+            BatchMerged(
+                group_count=len(groups),
+                merged_memo_entries=memo_entries,
+                merged_verdict_entries=verdict_entries,
+                elapsed_ms=(time.perf_counter() - merge_start) * 1000,
+            )
+        )
+
+    recompiled = bool(changed) and ctx.respecialize_on_change
+    compile_report = None
+    if recompiled:
+        ctx.specialized_program, ctx.report = ctx.specializer.specialize(
+            ctx.point_verdicts, ctx.table_verdicts
+        )
+        ctx.recompilations += 1
+        if ctx.target is not None:
+            compile_report = ctx.target.compile(ctx.specialized_program)
+            ctx.compile_reports.append(compile_report)
+            if ctx.bus.active:
+                ctx.bus.emit(
+                    TargetCompiled(
+                        target=getattr(ctx.target, "name", "target"),
+                        modeled_seconds=getattr(
+                            compile_report, "modeled_seconds", 0.0
+                        ),
+                    )
+                )
+
+    return BatchReport(
+        update_count=len(updates),
+        coalesced_count=coalesced.output_count,
+        group_count=len(groups),
+        workers=workers,
+        affected_points=len(affected),
+        changed=changed,
+        recompiled=bool(changed),
+        elapsed_ms=(time.perf_counter() - start) * 1000,
+        compile_report=compile_report,
+        groups=group_decisions,
+    )
+
+
+__all__ = [
+    "BatchReport",
+    "CoalesceResult",
+    "CoalescedOp",
+    "ConflictGroup",
+    "GroupDecision",
+    "GroupOutcome",
+    "LayeredCache",
+    "LayeredMemo",
+    "WorkerSlice",
+    "coalesce",
+    "conflict_components",
+    "partition",
+    "run_group",
+    "schedule_batch",
+]

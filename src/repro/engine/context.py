@@ -99,6 +99,11 @@ class EngineContext:
     target: Optional[object] = None
     compile_reports: list = field(default_factory=list)
     lowered_updates: list = field(default_factory=list)
+    # Conflict components for the batch scheduler (entity → component
+    # root), computed lazily from the model and dependency graph on the
+    # first ``apply_batch`` — both are fixed per program, so this never
+    # invalidates.
+    batch_components: Optional[dict] = None
     # Bookkeeping.
     timings: EngineTimings = field(default_factory=EngineTimings)
     update_log: list = field(default_factory=list)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.engine.batch import BatchReport, schedule_batch
 from repro.engine.context import EngineContext, EngineOptions, EngineTimings
 from repro.engine.events import (
     CacheActivity,
@@ -135,6 +136,61 @@ class Engine:
         self.ctx.timings.update_ms.append(decision.elapsed_ms)
         self._finish_warm("batch", warm, decision)
         return decision
+
+    def apply_batch(self, updates: list, workers: int = 1) -> BatchReport:
+        """Process a burst through the batch scheduler (coalesce + groups).
+
+        Unlike :meth:`process_batch` — which re-encodes every touched table
+        and re-checks every affected point in one sequential sweep — this
+        path coalesces redundant updates away, partitions the survivors
+        into independent conflict groups, and runs the groups on a worker
+        pool of the given width.  The outcome is deterministic and
+        byte-identical across worker counts; forwarded updates are lowered
+        in their original submission order, exactly as a sequential warm
+        path would have sent them.
+        """
+        ctx = self.ctx
+        updates = list(updates)
+        baseline = (
+            [c.snapshot() for c in ctx.cache_counters()] if ctx.bus.active else None
+        )
+        report = schedule_batch(ctx, updates, workers=workers)
+        if baseline is not None:
+            for counter, before in zip(ctx.cache_counters(), baseline):
+                delta = counter.since(before)
+                if delta.lookups or delta.invalidations:
+                    ctx.bus.emit(
+                        CacheActivity(
+                            cache=delta.name,
+                            hits=delta.hits,
+                            misses=delta.misses,
+                            invalidations=delta.invalidations,
+                        )
+                    )
+        ctx.update_log.append(report)
+        ctx.timings.update_ms.append(report.elapsed_ms)
+        if not report.recompiled and ctx.target is not None:
+            # The device still needs every submitted write (coalescing is a
+            # verdict-side optimization), in the order it was submitted.
+            for lowered in ctx.target.lower_batch(updates):
+                ctx.lowered_updates.append(lowered)
+                if ctx.bus.active:
+                    ctx.bus.emit(
+                        UpdateLowered(target=lowered.target, table=lowered.table)
+                    )
+        if ctx.bus.active:
+            ctx.bus.emit(
+                UpdateProcessed(
+                    kind="batch",
+                    forwarded=report.forwarded,
+                    recompiled=report.recompiled,
+                    update_count=report.update_count,
+                    affected_points=report.affected_points,
+                    changed=len(report.changed),
+                    elapsed_ms=report.elapsed_ms,
+                )
+            )
+        return report
 
     def _run_warm(self, mode: str, updates: list) -> tuple:
         ctx = self.ctx

@@ -78,6 +78,26 @@ class TargetCompiled(Event):
     modeled_seconds: float
 
 
+@dataclass(frozen=True)
+class BatchScheduled(Event):
+    """The batch scheduler coalesced and partitioned a burst of updates."""
+
+    update_count: int  # updates as submitted
+    coalesced_count: int  # net updates after coalescing
+    group_count: int  # independent conflict groups
+    workers: int  # worker-pool width requested
+
+
+@dataclass(frozen=True)
+class BatchMerged(Event):
+    """Worker cache deltas were folded back into the shared context."""
+
+    group_count: int
+    merged_memo_entries: int  # substitution memo entries grafted
+    merged_verdict_entries: int  # solver/executability cache entries grafted
+    elapsed_ms: float
+
+
 class EventBus:
     """A synchronous fan-out bus for engine events."""
 

@@ -80,6 +80,35 @@ class DependencyGraph:
             depth[name] = best + 1
         return max(depth.values(), default=0)
 
+    def components(self) -> list[frozenset[str]]:
+        """Connected components of the (undirected) dependency graph.
+
+        Two tables in the same component can observe each other's effects,
+        so control-plane updates targeting them must not be re-verdicted
+        concurrently; tables in different components are independent units
+        of recompilation (the RMT observation the batch scheduler builds
+        its conflict groups on).  Components are returned in program order
+        of their first member.
+        """
+        parent: dict[str, str] = {name: name for name in self.order}
+
+        def find(name: str) -> str:
+            root = name
+            while parent[root] != root:
+                root = parent[root]
+            while parent[name] != root:
+                parent[name], name = root, parent[name]
+            return root
+
+        for edge in self.edges:
+            ra, rb = find(edge.src), find(edge.dst)
+            if ra != rb:
+                parent[rb] = ra
+        grouped: dict[str, list[str]] = {}
+        for name in self.order:
+            grouped.setdefault(find(name), []).append(name)
+        return [frozenset(members) for members in grouped.values()]
+
 
 def build_dependency_graph(
     program: ast.Program, env: Optional[TypeEnv] = None

@@ -116,10 +116,31 @@ class EntryFuzzer:
         and DELETE targets a live match key — the stream can be replayed
         against a fresh :class:`ControlPlaneState` without ``EntryError``.
         Used by the engine equivalence fuzz tests as a realistic workload.
+
+        Liveness is tracked per *canonical* table: a table requested under
+        both its local and qualified name used to get two independent live
+        maps, so a skewed modify/delete mix could revisit a match key the
+        other alias had already inserted (or deleted) and emit an invalid
+        update.  Fractions are clamped to [0, 1] and normalized when their
+        sum exceeds 1, so a skewed mix biases the stream instead of
+        silently starving one operation kind.
         """
-        names = tables if tables is not None else sorted(self.model.tables)
+        if tables is not None:
+            names: list[str] = []
+            for requested in tables:
+                canonical = self.model.table(requested).name
+                if canonical not in names:
+                    names.append(canonical)
+        else:
+            names = sorted(self.model.tables)
         if not names:
             return []
+        modify_fraction = min(max(modify_fraction, 0.0), 1.0)
+        delete_fraction = min(max(delete_fraction, 0.0), 1.0)
+        total = modify_fraction + delete_fraction
+        if total > 1.0:
+            modify_fraction /= total
+            delete_fraction /= total
         live: dict[str, dict] = {name: {} for name in names}
         updates: list[Update] = []
         while len(updates) < count:

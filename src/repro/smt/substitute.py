@@ -190,6 +190,15 @@ class DeltaSubstitution:
         self.counter.invalidate(dropped)
         return dropped
 
+    def fork_slice(self) -> "SubstitutionSlice":
+        """A copy-on-write worker view over this substitution's memo."""
+        return SubstitutionSlice(self)
+
+    def absorb(self, piece: "SubstitutionSlice") -> int:
+        """Fold a worker slice's mapping + memo delta back in; see
+        :class:`SubstitutionSlice`.  Returns the grafted entry count."""
+        return _absorb_slice(self, piece)
+
     def apply(self, term: Term) -> Term:
         """Replace mapped variables throughout ``term`` (no simplification)."""
         memo = self._memo
@@ -219,6 +228,130 @@ class DeltaSubstitution:
             for name in variable_dependencies(node):
                 index.setdefault(name, set()).add(id(node))
         return memo[id(term)]
+
+
+class SubstitutionSlice:
+    """A copy-on-write view of a :class:`DeltaSubstitution` for one worker.
+
+    The batch scheduler runs independent conflict groups on a worker pool;
+    every worker needs the warm substitution memo (the cross-update asset)
+    but must not mutate it while siblings read it.  A slice layers a
+    private memo, index, and mapping over read-only views of the shared
+    ones:
+
+    * reads check the private memo first, then the shared memo — unless
+      the shared entry was *shadowed* by this slice's own ``set_many``
+      (its subterm depends on a control symbol this group re-assigned);
+    * writes (new mapping entries, freshly computed memo entries) go to
+      the private layer only.
+
+    After the pool joins, :meth:`DeltaSubstitution.absorb` folds the
+    private layer back into the shared substitution on the main thread —
+    groups touch disjoint control symbols, so grafted entries can never
+    disagree with another group's.
+    """
+
+    def __init__(self, shared: "DeltaSubstitution") -> None:
+        self._shared = shared
+        self._memo: dict[int, Term] = {}
+        self._index: dict[str, set[int]] = {}
+        self._mapping: dict[Term, Term] = {}
+        self._shadowed: set[int] = set()
+        self.counter = CacheCounter("substitution")
+
+    @property
+    def delta_size(self) -> int:
+        return len(self._memo)
+
+    def _lookup(self, term_id: int) -> Optional[Term]:
+        found = self._memo.get(term_id)
+        if found is not None:
+            return found
+        if term_id in self._shadowed:
+            return None
+        return self._shared._memo.get(term_id)
+
+    def set_many(self, mapping: Mapping[Term, Term]) -> int:
+        """Install this group's assignments without touching shared state."""
+        changed_names: list[str] = []
+        changed_vars: list[Term] = []
+        for var, replacement in mapping.items():
+            DeltaSubstitution._check(var, replacement)
+            current = self._mapping.get(var)
+            if current is None:
+                current = self._shared._mapping.get(var)
+            if current is replacement:
+                continue
+            self._mapping[var] = replacement
+            changed_vars.append(var)
+            changed_names.append(var.payload)
+        dropped = 0
+        for name in changed_names:
+            for term_id in self._index.pop(name, set()):
+                if self._memo.pop(term_id, None) is not None:
+                    dropped += 1
+            shared_stale = self._shared._index.get(name)
+            if shared_stale:
+                self._shadowed |= shared_stale
+        for var in changed_vars:
+            self._memo[id(var)] = self._mapping[var]
+            self._index.setdefault(var.payload, set()).add(id(var))
+        self.counter.invalidate(dropped)
+        return dropped
+
+    def apply(self, term: Term) -> Term:
+        """Replace mapped variables throughout ``term`` (no simplification)."""
+        cached = self._lookup(id(term))
+        if cached is not None:
+            self.counter.hit()
+            return cached
+        self.counter.miss()
+        memo = self._memo
+        index = self._index
+        stack: list[tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if self._lookup(id(node)) is not None:
+                continue
+            if not node.args:
+                memo[id(node)] = node
+                if node.is_var:
+                    index.setdefault(node.payload, set()).add(id(node))
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    if self._lookup(id(child)) is None:
+                        stack.append((child, False))
+                continue
+            new_args = tuple(self._lookup(id(child)) for child in node.args)
+            memo[id(node)] = _rebuild_with_args(node, new_args)
+            for name in variable_dependencies(node):
+                index.setdefault(name, set()).add(id(node))
+        return self._lookup(id(term))
+
+
+def _absorb_slice(shared: "DeltaSubstitution", piece: SubstitutionSlice) -> int:
+    """Fold one worker slice back into the shared substitution.
+
+    Ordering matters: ``set_many`` first drops the shared entries the
+    slice shadowed (they depend on symbols the group re-assigned), then
+    the slice's private entries — computed *after* the new assignments —
+    are grafted in their place.  Returns the number of grafted entries.
+    """
+    shared.set_many(piece._mapping)
+    memo = shared._memo
+    grafted = 0
+    for term_id, term in piece._memo.items():
+        if term_id not in memo:
+            memo[term_id] = term
+            grafted += 1
+    for name, ids in piece._index.items():
+        shared._index.setdefault(name, set()).update(ids)
+    shared.counter.hit(piece.counter.hits)
+    shared.counter.miss(piece.counter.misses)
+    shared.counter.invalidate(piece.counter.invalidations)
+    return grafted
 
 
 def _rebuild_with_args(node: Term, args: tuple) -> Term:

@@ -181,8 +181,13 @@ class TermFactory:
         key = (op, args, width, payload)
         term = self._table.get(key)
         if term is None:
-            term = Term(op, args, width, payload)
-            self._table[key] = term
+            # setdefault is a single atomic dict operation under the GIL, so
+            # two threads racing to intern the same structure both get the
+            # one winning object — a plain check-then-store could let a
+            # thread switch publish two structurally-equal terms and break
+            # every id()-keyed memo.  The batch scheduler's worker pool
+            # builds terms concurrently through this shared factory.
+            term = self._table.setdefault(key, Term(op, args, width, payload))
         return term
 
     # -- leaves ------------------------------------------------------------

@@ -80,6 +80,17 @@ class Target(ABC):
             modeled_micros=self.update_micros,
         )
 
+    def lower_batch(self, updates) -> list:
+        """Push a forwarded burst to the device, in submission order.
+
+        The batch scheduler may coalesce and reorder updates *internally*
+        for verdict computation, but the device driver always receives the
+        stream exactly as the control plane submitted it — this hook is the
+        single place that ordering contract lives, and backends with a
+        native bulk-write API can override it.
+        """
+        return [self.lower_update(update) for update in updates]
+
     def resources(self, program):
         """Device resource accounting for ``program`` (None if unmodeled)."""
         return None

@@ -1,0 +1,255 @@
+"""Property + handwritten tests for the batch coalescer.
+
+The coalescer's contract: replaying the *coalesced* stream against any
+pre-batch control-plane state yields exactly the same final state — same
+entries, same dict insertion order (which exact-match precedence depends
+on), same eclipse-elided active lists — as replaying the original stream,
+while within-batch-inconsistent streams raise :class:`EntryError` up
+front.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.engine.batch import coalesce
+from repro.p4.parser import parse_program
+from repro.runtime.entries import EntryError, ExactMatch, TableEntry, TernaryMatch
+from repro.runtime.fuzzer import EntryFuzzer
+from repro.runtime.semantics import (
+    DELETE,
+    INSERT,
+    MODIFY,
+    ControlPlaneState,
+    Update,
+    ValueSetUpdate,
+)
+
+SOURCE = """
+header h_t { bit<8> f; bit<8> g; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table tern {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    table flat {
+        key = { hdr.h.g: exact; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    apply { tern.apply(); flat.apply(); }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def model():
+    return analyze(parse_program(SOURCE))
+
+
+def tern(value, mask=0xFF, action="set", args=(1,), priority=1):
+    return TableEntry((TernaryMatch(value, mask),), action, args, priority)
+
+
+def flat(value, action="set", args=(1,)):
+    return TableEntry((ExactMatch(value),), action, args, 0)
+
+
+def replay(model, state_updates, batch):
+    """Final state after ``state_updates`` then ``batch``, table by table."""
+    state = ControlPlaneState(model)
+    for update in state_updates:
+        state.apply_update(update)
+    for update in batch:
+        if isinstance(update, ValueSetUpdate):
+            state.apply_value_set_update(update)
+        else:
+            state.apply_update(update)
+    return {
+        name: (table.entries(), table.active_entries())
+        for name, table in state.tables.items()
+    }
+
+
+class TestFolds:
+    def test_insert_then_delete_vanishes(self):
+        entry = tern(1)
+        result = coalesce(
+            [Update("t", INSERT, entry), Update("t", DELETE, entry)]
+        )
+        assert result.ops == []
+        assert result.folded_count == 2
+
+    def test_modify_after_insert_collapses_into_insert(self):
+        first, second = tern(1, args=(1,)), tern(1, args=(9,))
+        result = coalesce(
+            [Update("t", INSERT, first), Update("t", MODIFY, second)]
+        )
+        (op,) = result.ops
+        assert op.update.op == INSERT
+        assert op.update.entry is second
+        assert op.anchor == 0  # precedence position of the original insert
+        assert op.sources == (0, 1)
+
+    def test_repeated_modify_keeps_last_write(self):
+        versions = [tern(1, args=(v,)) for v in (1, 2, 3)]
+        result = coalesce([Update("t", MODIFY, v) for v in versions])
+        (op,) = result.ops
+        assert op.update.op == MODIFY
+        assert op.update.entry is versions[-1]
+
+    def test_modify_then_delete_folds_to_delete(self):
+        result = coalesce(
+            [Update("t", MODIFY, tern(1, args=(5,))), Update("t", DELETE, tern(1))]
+        )
+        (op,) = result.ops
+        assert op.update.op == DELETE
+
+    def test_delete_then_reinsert_emits_both_in_order(self):
+        result = coalesce(
+            [Update("t", DELETE, tern(1)), Update("t", INSERT, tern(1, args=(7,)))]
+        )
+        assert [op.update.op for op in result.ops] == [DELETE, INSERT]
+
+    def test_survivors_keep_relative_input_order(self):
+        a, b, c = tern(1), tern(2), tern(3)
+        result = coalesce(
+            [
+                Update("t", INSERT, a),
+                Update("t", INSERT, b),
+                Update("t", DELETE, a),  # cancels the first insert
+                Update("t", INSERT, c),
+            ]
+        )
+        assert [op.update.entry for op in result.ops] == [b, c]
+        assert [op.anchor for op in result.ops] == [1, 3]
+
+    def test_value_set_last_write_wins(self):
+        result = coalesce(
+            [
+                ValueSetUpdate("vs", (1, 2)),
+                Update("t", INSERT, tern(1)),
+                ValueSetUpdate("vs", (9,)),
+            ]
+        )
+        vs_ops = [op for op in result.ops if isinstance(op.update, ValueSetUpdate)]
+        (op,) = vs_ops
+        assert op.update.values == (9,)
+        assert op.anchor == 0  # anchored where the set was first reconfigured
+        assert op.sources == (0, 2)
+
+    def test_priority_tie_preserves_insertion_order(self, model):
+        # Two ternary entries with equal priority: precedence falls back to
+        # insertion order, so the coalesced replay must install them in the
+        # original order even after an unrelated fold in between.
+        a, b = tern(1, priority=5), tern(2, priority=5)
+        scratch = tern(3, priority=5)
+        batch = [
+            Update("tern", INSERT, a),
+            Update("tern", INSERT, scratch),
+            Update("tern", INSERT, b),
+            Update("tern", DELETE, scratch),
+        ]
+        result = coalesce(batch)
+        assert replay(model, [], [op.update for op in result.ops]) == replay(
+            model, [], batch
+        )
+
+    def test_alias_resolution_folds_across_names(self, model):
+        entry = flat(4)
+        result = coalesce(
+            [Update("flat", INSERT, entry), Update("C.flat", DELETE, entry)],
+            resolve_table=lambda name: model.table(name).name,
+        )
+        assert result.ops == []
+
+
+class TestInvalidStreams:
+    def test_double_insert_raises(self):
+        entry = tern(1)
+        with pytest.raises(EntryError):
+            coalesce([Update("t", INSERT, entry), Update("t", INSERT, entry)])
+
+    def test_modify_after_delete_raises(self):
+        with pytest.raises(EntryError):
+            coalesce(
+                [Update("t", DELETE, tern(1)), Update("t", MODIFY, tern(1))]
+            )
+
+    def test_delete_after_delete_raises(self):
+        with pytest.raises(EntryError):
+            coalesce(
+                [Update("t", DELETE, tern(1)), Update("t", DELETE, tern(1))]
+            )
+
+    def test_modify_after_cancelled_insert_raises(self):
+        # insert+delete proves the key was dead before the batch, so a
+        # later modify can never be valid — caught at coalesce time, just
+        # like sequential application would catch it at apply time.
+        entry = tern(1)
+        with pytest.raises(EntryError):
+            coalesce(
+                [
+                    Update("t", INSERT, entry),
+                    Update("t", DELETE, entry),
+                    Update("t", MODIFY, tern(1, args=(2,))),
+                ]
+            )
+
+    def test_validation_is_all_or_nothing(self):
+        # The invalid op sits at the end; coalesce must raise without
+        # having leaked any of the earlier (valid) folds to the caller.
+        with pytest.raises(EntryError):
+            coalesce(
+                [
+                    Update("t", INSERT, tern(1)),
+                    Update("t", INSERT, tern(2)),
+                    Update("t", INSERT, tern(2)),  # duplicate
+                ]
+            )
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        prefix=st.integers(min_value=0, max_value=30),
+        modify_fraction=st.floats(min_value=0.0, max_value=0.9),
+        delete_fraction=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_coalesced_replay_matches_original(
+        self, model, seed, prefix, modify_fraction, delete_fraction
+    ):
+        """Replaying net ops == replaying the full stream, for any split of
+        a fuzzed stream into pre-batch state and batch."""
+        fuzzer = EntryFuzzer(model, seed=seed)
+        stream = fuzzer.update_stream(
+            tables=["tern", "flat"],
+            count=60,
+            modify_fraction=modify_fraction,
+            delete_fraction=delete_fraction,
+        )
+        pre, batch = stream[:prefix], stream[prefix:]
+        result = coalesce(batch)
+        assert result.output_count <= result.input_count
+        net = [op.update for op in result.ops]
+        assert replay(model, pre, net) == replay(model, pre, batch)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_anchor_order_is_strictly_increasing(self, model, seed):
+        fuzzer = EntryFuzzer(model, seed=seed)
+        stream = fuzzer.update_stream(tables=["tern", "flat"], count=40)
+        result = coalesce(stream)
+        anchors = [op.anchor for op in result.ops]
+        assert anchors == sorted(anchors)
+        assert len(set(anchors)) == len(anchors)

@@ -71,6 +71,46 @@ class TestFuzzer:
             state.apply_update(update)
         assert len(state.table_state("routes")) == 100
 
+    def test_aliased_table_names_share_liveness(self, model):
+        """Regression: requesting one table under both its local and
+        qualified name used to give it two independent live-key maps, so a
+        skewed modify/delete mix could emit an update against a key the
+        other alias had already inserted or deleted — replay would raise
+        ``EntryError: duplicate entry``.  Canonicalization makes the alias
+        pair equivalent to requesting the table once."""
+        for seed in range(60):
+            fuzzer = EntryFuzzer(model, seed=seed)
+            stream = fuzzer.update_stream(
+                tables=["routes", "C.routes"],
+                count=50,
+                modify_fraction=0.9,
+                delete_fraction=0.5,
+            )
+            state = ControlPlaneState(model)
+            for update in stream:  # EntryError here would fail the test
+                state.apply_update(update)
+
+    def test_aliased_request_matches_single_request(self, model):
+        a = EntryFuzzer(model, seed=17).update_stream(
+            tables=["routes"], count=30
+        )
+        b = EntryFuzzer(model, seed=17).update_stream(
+            tables=["routes", "C.routes"], count=30
+        )
+        assert a == b
+
+    def test_skewed_fractions_are_normalized(self, model):
+        """modify+delete fractions summing past 1.0 must bias the mix, not
+        starve inserts entirely (the stream would never terminate)."""
+        fuzzer = EntryFuzzer(model, seed=23)
+        stream = fuzzer.update_stream(
+            tables=["acl"], count=40, modify_fraction=1.2, delete_fraction=0.9
+        )
+        assert len(stream) == 40
+        state = ControlPlaneState(model)
+        for update in stream:
+            state.apply_update(update)
+
     def test_ipv4_route_generator(self, model):
         entries = list(ipv4_route_entries(model, "routes", 50, "fwd", seed=5))
         assert len(entries) == 50

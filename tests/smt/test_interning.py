@@ -9,9 +9,10 @@ instead of corrupting caches silently.
 """
 
 import gc
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.smt import terms as T
-from repro.smt.substitute import variable_dependencies
+from repro.smt.substitute import DeltaSubstitution, variable_dependencies
 
 
 class TestInterningInvariant:
@@ -34,6 +35,61 @@ class TestInterningInvariant:
     def test_interned_terms_are_in_factory_table(self):
         term = T.eq(T.data_var("y", 4), T.bv_const(3, 4))
         assert any(entry is term for entry in T.DEFAULT_FACTORY._table.values())
+
+
+class TestConcurrentInterning:
+    """The batch scheduler shares one factory across its worker pool, so
+    concurrent construction of the same structure must yield one object —
+    ``TermFactory._mk`` interns with a single atomic ``dict.setdefault``."""
+
+    def test_racing_builders_get_one_representative(self):
+        def build(round_id):
+            x = T.data_var("race_probe", 16)
+            return T.add(
+                T.mul(x, T.bv_const(3, 16)), T.bv_const(round_id % 2, 16)
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            terms = list(pool.map(build, range(64)))
+        evens = {id(t) for i, t in enumerate(terms) if i % 2 == 0}
+        odds = {id(t) for i, t in enumerate(terms) if i % 2 == 1}
+        assert len(evens) == 1
+        assert len(odds) == 1
+        assert evens != odds
+
+    def test_concurrent_slice_applies_then_absorb(self):
+        """Worker slices applying over shared structure, then merged: the
+        shared memo ends up keyed on interned ids that resolve to the very
+        objects the workers produced."""
+        x = T.data_var("slice_probe_x", 8)
+        ctrl_a = T.control_var("slice_probe.a", 8)
+        ctrl_b = T.control_var("slice_probe.b", 8)
+        shared_sub = DeltaSubstitution({})
+        exprs = {
+            "a": T.add(ctrl_a, x),
+            "b": T.mul(ctrl_b, x),
+        }
+        slices = {name: shared_sub.fork_slice() for name in exprs}
+        mappings = {
+            "a": {ctrl_a: T.bv_const(3, 8)},
+            "b": {ctrl_b: T.bv_const(5, 8)},
+        }
+
+        def run(name):
+            piece = slices[name]
+            piece.set_many(mappings[name])
+            return piece.apply(exprs[name])
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = dict(zip(exprs, pool.map(run, exprs)))
+        for piece in slices.values():
+            shared_sub.absorb(piece)
+        # Post-merge, the shared substitution answers both by identity.
+        assert shared_sub.apply(exprs["a"]) is results["a"]
+        assert shared_sub.apply(exprs["b"]) is results["b"]
+        # And the grafted results are the interned representatives.
+        assert results["a"] is T.add(T.bv_const(3, 8), x)
+        assert results["b"] is T.mul(T.bv_const(5, 8), x)
 
 
 class TestTreeSizeMemo:
