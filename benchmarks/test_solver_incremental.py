@@ -1,0 +1,190 @@
+"""Incremental CDCL session: cold blast vs warm assumption probes.
+
+The paper leans on an incremental SMT solver (Z3) so that each update's
+queries reuse the work of all earlier ones.  This bench replays that
+trade-off at the SAT layer: the verdict queries a 1000-entry SCION update
+stream actually sends to the solver (and the ``switch`` program's cold
+specialization set) are swept through three solver configurations:
+
+* **cold blast** — fresh encoder and solver per sweep: every query pays
+  full Tseitin encoding plus a from-scratch search,
+* **cone replay** — the pre-session architecture (PR 3 baseline): shared
+  CNF fragment cache, but each query replays its cone into a throw-away
+  solver, paying O(cone) clause construction per verdict,
+* **warm probe** — the persistent :class:`~repro.smt.session.SolverSession`:
+  each query is one ``solve(assumptions=[act])`` probe against the
+  already-loaded clause database, deciding only the query's own cone.
+
+The acceptance bar is warm probes ≥ 2× faster than the replay baseline
+on the SCION stream's query set.
+
+Set ``SOLVER_BENCH_JSON=/path/out.json`` to dump the measured numbers and
+solver counters (CI uploads that file as an artifact).
+"""
+
+import json
+import os
+import time
+
+from conftest import heading, make_flay
+from repro.runtime.fuzzer import EntryFuzzer
+from repro.runtime.semantics import INSERT, Update
+from repro.smt import interval
+from repro.smt.solver import Solver
+
+SCION_TABLES = [f"ScionEgress.rewrite_mac_if{i}" for i in range(4)]
+STREAM_ENTRIES = 1000
+SWEEPS = 5
+
+
+def _scion_stream(flay, count=STREAM_ENTRIES, seed=7):
+    """``count`` unique inserts spread over four independent tables."""
+    fuzzer = EntryFuzzer(flay.model, seed=seed)
+    per_table = count // len(SCION_TABLES)
+    updates = []
+    for table in SCION_TABLES:
+        info = flay.model.table(table)
+        seen = set()
+        while len(seen) < per_table:
+            entry = fuzzer.entry(table)
+            key = entry.match_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            updates.append(Update(info.name, INSERT, entry))
+    return updates
+
+
+def _harvest_sat_terms(flay):
+    """The queries that actually reached the SAT layer: every memoized
+    simplified term minus the ones the interval pre-check decides."""
+    return [
+        term
+        for term in flay.runtime.ctx.query_engine.solver._results
+        if interval.eval_bool(term)
+        not in (interval.DEFINITELY_TRUE, interval.DEFINITELY_FALSE)
+    ]
+
+
+def _sweep(solver, terms, rounds):
+    """Mean seconds per sweep of every term through ``_check_sat_blasted``
+    (the layer below the result memo — exactly the per-verdict SAT cost)."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for term in terms:
+            solver._check_sat_blasted(term)
+    return (time.perf_counter() - start) / rounds
+
+
+def _measure(terms):
+    """(cold_ms, replay_ms, warm_probe_ms, session_solver) for a term set."""
+    cold = Solver(share_encodings=False)
+    cold_s = _sweep(cold, terms, 1)
+
+    replay = Solver(incremental=False)
+    _sweep(replay, terms, 1)  # warm the fragment cache
+    replay_s = _sweep(replay, terms, SWEEPS)
+
+    session = Solver(incremental=True)
+    _sweep(session, terms, 1)  # load every cone into the session
+    session_s = _sweep(session, terms, SWEEPS)
+
+    # The architectures must be answer-equivalent.
+    for term in terms:
+        assert (
+            session._check_sat_blasted(term).satisfiable
+            == replay._check_sat_blasted(term).satisfiable
+        )
+    return cold_s * 1000, replay_s * 1000, session_s * 1000, session
+
+
+def _report(name, terms, results, timings):
+    cold_ms, replay_ms, probe_ms, session = results
+    stats = session.stats
+    timings[f"{name}_terms"] = len(terms)
+    timings[f"{name}_cold_blast_ms"] = cold_ms
+    timings[f"{name}_cone_replay_ms"] = replay_ms
+    timings[f"{name}_warm_probe_ms"] = probe_ms
+    timings[f"{name}_replay_over_probe"] = replay_ms / probe_ms
+    timings[f"{name}_conflicts"] = stats.search.conflicts
+    timings[f"{name}_learned_clauses"] = stats.search.learned
+    timings[f"{name}_propagations"] = stats.search.propagations
+    timings[f"{name}_probe_p50_us"] = stats.probe_latency_us(0.5)
+    timings[f"{name}_probe_p99_us"] = stats.probe_latency_us(0.99)
+    print(f"{name}: {len(terms)} SAT-layer queries")
+    print(f"  cold blast:       {cold_ms:8.2f} ms/sweep")
+    print(f"  cone replay:      {replay_ms:8.2f} ms/sweep  (PR 3 baseline)")
+    print(f"  warm probe:       {probe_ms:8.2f} ms/sweep")
+    print(f"  replay / probe:   {replay_ms / probe_ms:8.2f}x  (bar: >= 2x)")
+    print(
+        f"  search: {stats.search.conflicts} conflicts, "
+        f"{stats.search.learned} learned, "
+        f"p50 {stats.probe_latency_us(0.5):.0f} us, "
+        f"p99 {stats.probe_latency_us(0.99):.0f} us"
+    )
+
+
+def test_warm_probe_beats_cone_replay(benchmark, corpus_programs):
+    timings = {}
+
+    # SCION: the paper's 1000-entry burst scenario.  The stream grows the
+    # tables past the overapproximation threshold; the engine's verdict
+    # queries along the way are the SAT workload.
+    flay = make_flay(corpus_programs["scion"])
+    stream = _scion_stream(flay)
+    stream_start = time.perf_counter()
+    for update in stream:
+        flay.process_update(update)
+    timings["scion_stream_ms"] = (time.perf_counter() - stream_start) * 1000
+    timings["scion_stream_updates"] = len(stream)
+    scion_terms = _harvest_sat_terms(flay)
+    scion_results = _measure(scion_terms)
+
+    # switch: the biggest corpus program's cold-specialization query set.
+    switch_flay = make_flay(corpus_programs["switch"])
+    switch_terms = _harvest_sat_terms(switch_flay)
+    switch_results = _measure(switch_terms)
+
+    # Register the scion warm sweep with pytest-benchmark's statistics.
+    session = scion_results[3]
+    benchmark.pedantic(
+        lambda: _sweep(session, scion_terms, 1), rounds=3, iterations=1
+    )
+
+    heading(
+        "Incremental solver: warm assumption probes vs per-query cone replay"
+    )
+    print(
+        f"scion stream: {len(stream)} updates in "
+        f"{timings['scion_stream_ms']:.0f} ms"
+    )
+    _report("scion", scion_terms, scion_results, timings)
+    _report("switch", switch_terms, switch_results, timings)
+
+    out_path = os.environ.get("SOLVER_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(timings, handle, indent=2, sort_keys=True)
+        print(f"wrote {out_path}")
+
+    assert timings["scion_replay_over_probe"] >= 2.0
+    assert timings["switch_replay_over_probe"] >= 2.0
+
+
+def test_session_survives_update_stream_with_learning(corpus_programs):
+    """End-to-end sanity: a full engine run with the incremental session
+    produces the same specialization as the replay baseline, and the
+    session's clause database kept every probe's encoding loaded once."""
+    session_flay = make_flay(corpus_programs["scion"], incremental_solver=True)
+    replay_flay = make_flay(corpus_programs["scion"], incremental_solver=False)
+    stream = _scion_stream(session_flay, count=200, seed=11)
+    for update in stream:
+        a = session_flay.process_update(update)
+        b = replay_flay.process_update(update)
+        assert a.forwarded == b.forwarded
+        assert a.recompiled == b.recompiled
+    assert (
+        session_flay.specialized_source() == replay_flay.specialized_source()
+    )
+    session = session_flay.runtime.ctx.query_engine.solver.session
+    assert session.probed_terms == session_flay.solver_stats().by_sat

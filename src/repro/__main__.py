@@ -96,6 +96,9 @@ def cmd_specialize(args) -> int:
         print("# cache statistics:", file=sys.stderr)
         for line in flay.cache_stats().describe().splitlines():
             print(f"#   {line}", file=sys.stderr)
+        print("# solver statistics:", file=sys.stderr)
+        for line in flay.solver_stats().describe().splitlines():
+            print(f"#   {line}", file=sys.stderr)
     text = flay.specialized_source()
     if args.output:
         with open(args.output, "w") as handle:

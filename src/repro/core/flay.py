@@ -118,6 +118,10 @@ class Flay:
         """Hit/miss/invalidation counters of the cross-update caches."""
         return self.runtime.cache_stats()
 
+    def solver_stats(self):
+        """Query-layer and SAT-core counters (a ``SolverStats``)."""
+        return self.runtime.solver_stats()
+
     def summary(self) -> str:
         log = self.runtime.update_log
         lines = [

@@ -58,7 +58,6 @@ from repro.runtime.semantics import (
     encode_table,
     encode_value_set,
 )
-from repro.smt.solver import Solver
 
 
 # ---------------------------------------------------------------------------
@@ -387,11 +386,10 @@ class WorkerSlice:
     def __init__(self, ctx: EngineContext) -> None:
         shared_qe = ctx.query_engine
         self.substitution = ctx.substitution.fork_slice()
-        solver = Solver(
-            use_interval_precheck=shared_qe.solver.use_interval_precheck,
-            max_decisions=shared_qe.solver.max_decisions,
-            share_encodings=shared_qe.solver.share_encodings,
-        )
+        # Fork the shared solver: private encoder + a warm CDCL session
+        # pre-loaded with the shared clause database (problem + learned),
+        # so slice probes benefit from everything learned before the batch.
+        solver = shared_qe.solver.fork_slice()
         solver._results = LayeredCache(shared_qe.solver._results)
         self.query_engine = QueryEngine(
             ctx.model,
@@ -402,12 +400,12 @@ class WorkerSlice:
         self.query_engine._exec_cache = LayeredCache(shared_qe._exec_cache)
         self.query_engine._simplify_memo = LayeredMemo(shared_qe._simplify_memo)
 
-    def merge_into(self, ctx: EngineContext) -> tuple[int, int]:
+    def merge_into(self, ctx: EngineContext) -> tuple[int, int, int]:
         """Fold this slice's cache deltas into the shared context.
 
         Runs on the main thread after the pool joins.  Returns
-        ``(memo_entries, verdict_entries)`` grafted, for the
-        :class:`~repro.engine.events.BatchMerged` event.
+        ``(memo_entries, verdict_entries, learned_clauses)`` grafted, for
+        the :class:`~repro.engine.events.BatchMerged` event.
         """
         memo_entries = ctx.substitution.absorb(self.substitution)
         shared_qe = ctx.query_engine
@@ -423,11 +421,10 @@ class WorkerSlice:
         shared.cache_counter.miss(qe.solver.cache_counter.misses)
         shared.cnf_counter.hit(qe.solver.cnf_counter.hits)
         shared.cnf_counter.miss(qe.solver.cnf_counter.misses)
-        shared.stats.by_simplify += qe.solver.stats.by_simplify
-        shared.stats.by_interval += qe.solver.stats.by_interval
-        shared.stats.by_sat += qe.solver.stats.by_sat
-        shared.stats.by_cache += qe.solver.stats.by_cache
-        return memo_entries, verdict_entries
+        # Query stats, search stats, probe latencies, and the slice's
+        # exportable learned clauses all fold back through the solver.
+        learned = shared.absorb_fork(qe.solver)
+        return memo_entries, verdict_entries, learned
 
 
 # ---------------------------------------------------------------------------
@@ -629,13 +626,15 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
     affected: set = set()
     memo_entries = 0
     verdict_entries = 0
+    learned_clauses = 0
     group_decisions: list = []
     for outcome in outcomes:
         ctx.mapping.update(outcome.mapping)
         ctx.table_assignments.update(outcome.assignments)
-        grafted_memo, grafted_verdicts = outcome.slice.merge_into(ctx)
+        grafted_memo, grafted_verdicts, grafted_learned = outcome.slice.merge_into(ctx)
         memo_entries += grafted_memo
         verdict_entries += grafted_verdicts
+        learned_clauses += grafted_learned
         ctx.point_verdicts.update(outcome.point_verdicts)
         ctx.table_verdicts.update(outcome.table_verdicts)
         changed.extend(outcome.changed)
@@ -657,6 +656,7 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
                 group_count=len(groups),
                 merged_memo_entries=memo_entries,
                 merged_verdict_entries=verdict_entries,
+                imported_learned_clauses=learned_clauses,
                 elapsed_ms=(time.perf_counter() - merge_start) * 1000,
             )
         )

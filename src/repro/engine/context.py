@@ -32,9 +32,15 @@ class EngineOptions:
     prune_parser_tail: bool = True
     target: str = "tofino"  # any registered backend name, or "none"
     effort: str = "full"  # none | dce | full — specialization quality knob
-    # Solver budget: None means the QueryEngine defaults.
+    # Solver budget in CDCL conflicts: None means the QueryEngine defaults.
+    solver_budget: Optional[int] = None
+    # Legacy knob from the DPLL era (decisions ≈ conflicts there); honoured
+    # as a conflict budget when ``solver_budget`` is unset.
     solver_max_decisions: Optional[int] = None
     solver_node_budget: Optional[int] = None
+    # Persistent assumption-probing solver session; off = per-query cone
+    # replay (the ablation baseline).
+    incremental_solver: bool = True
 
 
 @dataclass
@@ -57,8 +63,13 @@ class EngineTimings:
 class SolverBudget:
     """How much search a specialization query may spend before MAYBE."""
 
-    max_decisions: int
+    max_conflicts: int
     node_budget: int
+
+    @property
+    def max_decisions(self) -> int:
+        """Legacy alias from when the budget was counted in decisions."""
+        return self.max_conflicts
 
 
 @dataclass

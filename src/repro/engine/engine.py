@@ -18,6 +18,7 @@ from repro.engine.context import EngineContext, EngineOptions, EngineTimings
 from repro.engine.events import (
     CacheActivity,
     EventBus,
+    SolverActivity,
     UpdateLowered,
     UpdateProcessed,
 )
@@ -154,19 +155,12 @@ class Engine:
         baseline = (
             [c.snapshot() for c in ctx.cache_counters()] if ctx.bus.active else None
         )
+        solver_before = (
+            ctx.query_engine.solver.stats.snapshot() if ctx.bus.active else None
+        )
         report = schedule_batch(ctx, updates, workers=workers)
         if baseline is not None:
-            for counter, before in zip(ctx.cache_counters(), baseline):
-                delta = counter.since(before)
-                if delta.lookups or delta.invalidations:
-                    ctx.bus.emit(
-                        CacheActivity(
-                            cache=delta.name,
-                            hits=delta.hits,
-                            misses=delta.misses,
-                            invalidations=delta.invalidations,
-                        )
-                    )
+            self._emit_activity(baseline, solver_before)
         ctx.update_log.append(report)
         ctx.timings.update_ms.append(report.elapsed_ms)
         if not report.recompiled and ctx.target is not None:
@@ -197,6 +191,9 @@ class Engine:
         baseline = (
             [c.snapshot() for c in ctx.cache_counters()] if ctx.bus.active else None
         )
+        solver_before = (
+            ctx.query_engine.solver.stats.snapshot() if ctx.bus.active else None
+        )
         start = time.perf_counter()
         ctx.warm = WarmState(updates=updates, mode=mode)
         try:
@@ -206,18 +203,37 @@ class Engine:
             ctx.warm = None
         elapsed_ms = (time.perf_counter() - start) * 1000
         if baseline is not None:
-            for counter, before in zip(ctx.cache_counters(), baseline):
-                delta = counter.since(before)
-                if delta.lookups or delta.invalidations:
-                    ctx.bus.emit(
-                        CacheActivity(
-                            cache=delta.name,
-                            hits=delta.hits,
-                            misses=delta.misses,
-                            invalidations=delta.invalidations,
-                        )
-                    )
+            self._emit_activity(baseline, solver_before)
         return warm, elapsed_ms
+
+    def _emit_activity(self, baseline, solver_before) -> None:
+        """Emit per-run cache and SAT-core deltas (bus known to be active)."""
+        ctx = self.ctx
+        for counter, before in zip(ctx.cache_counters(), baseline):
+            delta = counter.since(before)
+            if delta.lookups or delta.invalidations:
+                ctx.bus.emit(
+                    CacheActivity(
+                        cache=delta.name,
+                        hits=delta.hits,
+                        misses=delta.misses,
+                        invalidations=delta.invalidations,
+                    )
+                )
+        if solver_before is not None:
+            stats = ctx.query_engine.solver.stats.since(solver_before)
+            if stats.probes:
+                ctx.bus.emit(
+                    SolverActivity(
+                        probes=stats.probes,
+                        decisions=stats.search.decisions,
+                        conflicts=stats.search.conflicts,
+                        propagations=stats.search.propagations,
+                        learned=stats.search.learned,
+                        restarts=stats.search.restarts,
+                        probe_us=stats.probe_us_total,
+                    )
+                )
 
     def _finish_warm(self, mode: str, warm: WarmState, decision) -> None:
         """Forward-path lowering plus the outcome event."""
@@ -299,6 +315,10 @@ class Engine:
         for counter in self.ctx.cache_counters():
             report.add(counter)
         return report
+
+    def solver_stats(self):
+        """Query-layer and SAT-core counters (a ``SolverStats``)."""
+        return self.ctx.query_engine.solver.stats
 
     # -- context views (the pre-engine attribute surface) ----------------------
     # Everything below delegates to the context so code written against the

@@ -96,6 +96,20 @@ class BatchMerged(Event):
     merged_memo_entries: int  # substitution memo entries grafted
     merged_verdict_entries: int  # solver/executability cache entries grafted
     elapsed_ms: float
+    imported_learned_clauses: int = 0  # CDCL clauses folded into the session
+
+
+@dataclass(frozen=True)
+class SolverActivity(Event):
+    """SAT-core search effort spent over one warm run (delta counters)."""
+
+    probes: int  # queries that reached the SAT core
+    decisions: int
+    conflicts: int
+    propagations: int
+    learned: int  # clauses learned
+    restarts: int
+    probe_us: float  # wall time inside the SAT core, µs
 
 
 class EventBus:

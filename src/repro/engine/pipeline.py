@@ -155,12 +155,14 @@ class AnalysisPass:
         ctx.model = analyze(ctx.program, ctx.env, skip_parser=options.skip_parser)
         ctx.timings.data_plane_analysis_seconds = ctx.model.analysis_seconds
         ctx.state = ControlPlaneState(ctx.model)
+        if options.solver_budget is not None:
+            conflict_budget = options.solver_budget
+        elif options.solver_max_decisions is not None:
+            conflict_budget = options.solver_max_decisions
+        else:
+            conflict_budget = QueryEngine.DEFAULT_MAX_CONFLICTS
         ctx.solver_budget = SolverBudget(
-            max_decisions=(
-                options.solver_max_decisions
-                if options.solver_max_decisions is not None
-                else QueryEngine.DEFAULT_MAX_DECISIONS
-            ),
+            max_conflicts=conflict_budget,
             node_budget=(
                 options.solver_node_budget
                 if options.solver_node_budget is not None
@@ -172,7 +174,8 @@ class AnalysisPass:
             use_solver=options.use_solver,
             solver_node_budget=ctx.solver_budget.node_budget,
         )
-        ctx.query_engine.solver.max_decisions = ctx.solver_budget.max_decisions
+        ctx.query_engine.solver.max_conflicts = ctx.solver_budget.max_conflicts
+        ctx.query_engine.solver.incremental = options.incremental_solver
         ctx.specializer = Specializer(
             ctx.program,
             ctx.model,

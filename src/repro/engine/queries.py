@@ -87,10 +87,12 @@ class TableVerdict:
 class QueryEngine:
     """Evaluates specialization queries against a substitution."""
 
-    #: Default decision budget for the DPLL search inside a query.  The
+    #: Default conflict budget for the CDCL search inside a query.  The
     #: update path must stay inside Flay's ~100 ms envelope, so queries
     #: that would need real search fall back to MAYBE instead.
-    DEFAULT_MAX_DECISIONS = 20_000
+    DEFAULT_MAX_CONFLICTS = 20_000
+    #: Legacy alias from when the budget was counted in DPLL decisions.
+    DEFAULT_MAX_DECISIONS = DEFAULT_MAX_CONFLICTS
 
     def __init__(
         self,
@@ -101,7 +103,7 @@ class QueryEngine:
     ) -> None:
         self.model = model
         if solver is None:
-            solver = Solver(max_decisions=self.DEFAULT_MAX_DECISIONS)
+            solver = Solver(max_conflicts=self.DEFAULT_MAX_CONFLICTS)
         self.solver = solver
         self.use_solver = use_solver
         self.solver_node_budget = solver_node_budget

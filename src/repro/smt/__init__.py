@@ -7,10 +7,14 @@ Public surface:
 * :mod:`repro.smt.simplify` — constant folding / CSE / strength reduction,
 * :mod:`repro.smt.substitute` — the e-matching-style substitution engine,
 * :mod:`repro.smt.interval` — interval abstract domain for fast pre-checks,
-* :mod:`repro.smt.cnf` / :mod:`repro.smt.sat` — bit-blasting and DPLL,
+* :mod:`repro.smt.cnf` / :mod:`repro.smt.sat` — bit-blasting and
+  incremental CDCL (assumptions, clause learning, restarts),
+* :mod:`repro.smt.session` — persistent assumption-probing solver session,
 * :mod:`repro.smt.solver` — the layered QF_BV decision facade.
 """
 
+from repro.smt.sat import SatStats, SolverBudgetExceeded
+from repro.smt.session import SolverSession
 from repro.smt.simplify import simplify
 from repro.smt.solver import SatResult, Solver, SolverStats
 from repro.smt.substitute import (

@@ -396,6 +396,26 @@ class FragmentBitBlaster(BitBlaster):
             )
         return bits
 
+    def fork(self, counter: Optional[CacheCounter] = None) -> "FragmentBitBlaster":
+        """A private copy for one batch worker slice.
+
+        Fragment objects are immutable once encoded, so the fork shares
+        them and copies only the lookup tables and the variable counter.
+        Fragments encoded after the fork allocate from each side's own
+        counter — the same numbers can mean different things across forks,
+        which is why sessions only exchange clauses over pre-fork
+        variables (see :meth:`repro.smt.session.SolverSession.fork`).
+        """
+        twin = FragmentBitBlaster(counter)
+        twin.solver._num_vars = self.solver.num_vars
+        twin._true_lit = self._true_lit
+        twin._var_bits = dict(self._var_bits)
+        twin._bool_vars = dict(self._bool_vars)
+        twin._bool_frags = dict(self._bool_frags)
+        twin._bv_frags = dict(self._bv_frags)
+        twin._preamble = list(self._preamble)
+        return twin
+
     def cone_clauses(self, term: Term) -> list[list[int]]:
         """All clauses (global numbering) in the Tseitin cone of ``term``."""
         frag = self._bool_frags.get(term) if term.is_bool else self._bv_frags.get(term)

@@ -5,42 +5,127 @@ within its ~100 ms budget (§4.1):
 
 1. algebraic simplification (often decides the query outright),
 2. interval abstract interpretation (cheap sound pre-check),
-3. bit-blasting + DPLL (complete, used only when the fast paths punt).
+3. bit-blasting + incremental CDCL (complete, used when the fast paths punt).
 
 Two cross-update caches sit on top (the "Once" cost paid once):
 
 * a **result memo** keyed on the hash-consed simplified term — identical
-  residual terms across updates never reach the DPLL loop twice, and
+  residual terms across updates never reach the SAT core twice, and
 * a **CNF fragment cache** (:class:`~repro.smt.cnf.FragmentBitBlaster`)
   that reuses Tseitin encodings of shared subterms across queries, so
   bit-blasting cost scales with the delta rather than the full expression.
+
+Below both sits the **solver session** (:class:`~repro.smt.session.SolverSession`):
+one persistent CDCL instance per solver into which every query's cone is
+streamed exactly once and probed under an activation-literal assumption —
+the incremental-solving discipline the paper gets from Z3.  Clauses the
+CDCL core learns while answering one update's queries keep pruning the
+search for every later update.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ir.metrics import CacheCounter
 from repro.smt import interval, sat, terms as T
 from repro.smt.cnf import BitBlaster, FragmentBitBlaster, assert_term, model_values
-from repro.smt.sat import SatSolver
+from repro.smt.sat import SatSolver, SatStats
+from repro.smt.session import SolverSession
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
 
 
 @dataclass
 class SolverStats:
-    """Where queries were decided — used by the ablation benchmarks."""
+    """Where queries were decided, and what the SAT core spent on them.
+
+    The ``by_*`` counters are the layered-fast-path ablation surface; the
+    search counters (one :class:`~repro.smt.sat.SatStats`) plus the probe
+    latency record are the solver-health surface the ``--stats`` CLI flag
+    and the benchmark JSON report.
+    """
 
     by_simplify: int = 0
     by_interval: int = 0
     by_sat: int = 0
     by_cache: int = 0  # answered from the cross-update result memo
+    # SAT-core observability.
+    probes: int = 0  # queries that actually reached the SAT core
+    probe_us_total: float = 0.0
+    search: SatStats = field(default_factory=SatStats)
+    probe_latencies_us: list = field(default_factory=list)
 
     @property
     def total(self) -> int:
         return self.by_simplify + self.by_interval + self.by_sat + self.by_cache
+
+    def probe_latency_us(self, quantile: float) -> float:
+        """Per-probe latency percentile (0.5 → p50, 0.99 → p99), in µs."""
+        latencies = sorted(self.probe_latencies_us)
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(quantile * len(latencies)))
+        return latencies[index]
+
+    def snapshot(self) -> "SolverStats":
+        """A frozen copy (latency list elided), for before/after deltas."""
+        return SolverStats(
+            by_simplify=self.by_simplify,
+            by_interval=self.by_interval,
+            by_sat=self.by_sat,
+            by_cache=self.by_cache,
+            probes=self.probes,
+            probe_us_total=self.probe_us_total,
+            search=self.search.snapshot(),
+        )
+
+    def since(self, baseline: "SolverStats") -> "SolverStats":
+        return SolverStats(
+            by_simplify=self.by_simplify - baseline.by_simplify,
+            by_interval=self.by_interval - baseline.by_interval,
+            by_sat=self.by_sat - baseline.by_sat,
+            by_cache=self.by_cache - baseline.by_cache,
+            probes=self.probes - baseline.probes,
+            probe_us_total=self.probe_us_total - baseline.probe_us_total,
+            search=self.search.since(baseline.search),
+        )
+
+    def absorb(self, other: "SolverStats") -> None:
+        """Fold another stats record into this one (batch-worker merge)."""
+        self.by_simplify += other.by_simplify
+        self.by_interval += other.by_interval
+        self.by_sat += other.by_sat
+        self.by_cache += other.by_cache
+        self.probes += other.probes
+        self.probe_us_total += other.probe_us_total
+        self.search.add(other.search)
+        self.probe_latencies_us.extend(other.probe_latencies_us)
+
+    def describe(self) -> str:
+        """Multi-line counter report for the ``--stats`` CLI flag."""
+        s = self.search
+        lines = [
+            (
+                f"queries: {self.total} "
+                f"(simplify {self.by_simplify}, interval {self.by_interval}, "
+                f"sat {self.by_sat}, memo {self.by_cache})"
+            ),
+            (
+                f"probes: {self.probes} "
+                f"(p50 {self.probe_latency_us(0.5):.0f} us, "
+                f"p99 {self.probe_latency_us(0.99):.0f} us, "
+                f"total {self.probe_us_total / 1000:.1f} ms)"
+            ),
+            (
+                f"search: {s.decisions} decisions, {s.conflicts} conflicts, "
+                f"{s.propagations} propagations, {s.restarts} restarts"
+            ),
+            f"clauses: {s.learned} learned, {s.deleted} deleted",
+        ]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -55,32 +140,57 @@ class Solver:
     """Decides satisfiability/validity of boolean terms over bitvectors."""
 
     #: Reset the shared encoder past this many allocated SAT variables —
-    #: a generation bump that bounds fragment-cache memory.  The result
-    #: memo survives resets (its entries stay correct forever).
+    #: a generation bump that bounds fragment-cache (and session clause
+    #: database) memory.  The result memo survives resets (its entries
+    #: stay correct forever).
     ENCODER_VAR_LIMIT = 500_000
 
     def __init__(
         self,
         use_interval_precheck: bool = True,
-        max_decisions: Optional[int] = 2_000_000,
+        max_conflicts: Optional[int] = 100_000,
         share_encodings: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.use_interval_precheck = use_interval_precheck
-        self.max_decisions = max_decisions
+        self.max_conflicts = max_conflicts
         self.share_encodings = share_encodings
+        #: ``False`` falls back to the cone-replay architecture (each query
+        #: solved by a throw-away solver over its replayed cone) — kept as
+        #: the ablation baseline for the incremental-session benchmarks.
+        self.incremental = incremental
         self.stats = SolverStats()
         self.cache_counter = CacheCounter("solver-memo")
         self.cnf_counter = CacheCounter("cnf-fragments")
         self.generation = 0
         self._results: dict[Term, SatResult] = {}
         self._encoder = FragmentBitBlaster(self.cnf_counter)
+        self._session = SolverSession(self._encoder)
+
+    # Legacy name: the budget used to be counted in decisions.  CDCL makes
+    # decisions nearly free; conflicts are the honest unit of work.
+    @property
+    def max_decisions(self) -> Optional[int]:
+        return self.max_conflicts
+
+    @max_decisions.setter
+    def max_decisions(self, value: Optional[int]) -> None:
+        self.max_conflicts = value
+
+    @property
+    def session(self) -> SolverSession:
+        return self._session
+
+    def _reset_encoder(self) -> None:
+        self._encoder = FragmentBitBlaster(self.cnf_counter)
+        self._session = SolverSession(self._encoder)
 
     def invalidate_caches(self) -> None:
-        """Drop the result memo and fragment cache (generation bump)."""
+        """Drop the result memo, fragment cache, and solver session."""
         self.generation += 1
         self.cache_counter.invalidate(len(self._results))
         self._results.clear()
-        self._encoder = FragmentBitBlaster(self.cnf_counter)
+        self._reset_encoder()
 
     def check_sat(self, term: Term) -> SatResult:
         """Is there an assignment making ``term`` true?"""
@@ -111,27 +221,60 @@ class Solver:
                 return result
         self.stats.by_sat += 1
         result = self._check_sat_blasted(simplified)
-        # A blown decision budget raises out of the call above and is
+        # A blown conflict budget raises out of the call above and is
         # deliberately *not* cached: a later query under a bigger budget
         # must be free to try again.
         self._results[simplified] = result
         return result
 
     def _check_sat_blasted(self, simplified: Term) -> SatResult:
-        if not self.share_encodings:
-            blaster = BitBlaster()
-            assert_term(blaster, simplified)
-            outcome = blaster.solver.solve(max_decisions=self.max_decisions)
-            if outcome == sat.UNSAT:
-                return SatResult(False)
-            return SatResult(True, model_values(blaster, simplified))
-        if self._encoder.var_count > self.ENCODER_VAR_LIMIT:
-            self.cnf_counter.invalidate()
-            self._encoder = FragmentBitBlaster(self.cnf_counter)
+        start = time.perf_counter()
+        try:
+            if not self.share_encodings:
+                return self._solve_fresh(simplified)
+            if self._encoder.var_count > self.ENCODER_VAR_LIMIT:
+                self.cnf_counter.invalidate()
+                self._reset_encoder()
+            if self.incremental:
+                return self._solve_session(simplified)
+            return self._solve_replay(simplified)
+        finally:
+            elapsed_us = (time.perf_counter() - start) * 1e6
+            self.stats.probes += 1
+            self.stats.probe_us_total += elapsed_us
+            self.stats.probe_latencies_us.append(elapsed_us)
+
+    def _solve_session(self, simplified: Term) -> SatResult:
+        """One assumption probe against the persistent session."""
+        session = self._session
+        before = session.sat.stats.snapshot()
+        try:
+            satisfiable = session.probe(
+                simplified, max_conflicts=self.max_conflicts
+            )
+        finally:
+            self.stats.search.add(session.sat.stats.since(before))
+        if not satisfiable:
+            return SatResult(False)
+        return SatResult(True, session.model_values(simplified))
+
+    def _solve_fresh(self, simplified: Term) -> SatResult:
+        """Fresh per-query encoding and solver (``share_encodings=False``)."""
+        blaster = BitBlaster()
+        assert_term(blaster, simplified)
+        try:
+            outcome = blaster.solver.solve(max_conflicts=self.max_conflicts)
+        finally:
+            self.stats.search.add(blaster.solver.stats)
+        if outcome == sat.UNSAT:
+            return SatResult(False)
+        return SatResult(True, model_values(blaster, simplified))
+
+    def _solve_replay(self, simplified: Term) -> SatResult:
+        """Cone replay into a throw-away solver (the pre-session baseline:
+        shared encodings, but every query pays a fresh search)."""
         encoder = self._encoder
         root = encoder.encode_bool(simplified)
-        # Replay the root's cone into a throw-away solver with a dense
-        # local numbering, so search cost stays proportional to the cone.
         solver = SatSolver()
         local: dict[int, int] = {}
 
@@ -146,12 +289,56 @@ class Solver:
         for clause in encoder.cone_clauses(simplified):
             solver.add_clause([localize(lit) for lit in clause])
         solver.add_clause([localize(root)])
-        outcome = solver.solve(max_decisions=self.max_decisions)
+        try:
+            outcome = solver.solve(max_conflicts=self.max_conflicts)
+        finally:
+            self.stats.search.add(solver.stats)
         if outcome == sat.UNSAT:
             return SatResult(False)
         model = solver.model() or {}
         global_model = {var: model.get(mapped, False) for var, mapped in local.items()}
         return SatResult(True, encoder.decode_model(simplified, global_model))
+
+    # -- batch-worker forking --------------------------------------------------
+
+    def fork_slice(self) -> "Solver":
+        """A private warm view for one batch worker slice.
+
+        The fork gets its own encoder (sharing the parent's immutable
+        fragments) and its own session pre-loaded with the parent's
+        clause database — including everything learned so far — so each
+        worker probes warm.  Nothing mutable is shared; the anchor-order
+        merge folds the fork's stats and exportable learned clauses back
+        via :meth:`absorb_fork`.
+        """
+        twin = Solver(
+            use_interval_precheck=self.use_interval_precheck,
+            max_conflicts=self.max_conflicts,
+            share_encodings=self.share_encodings,
+            incremental=self.incremental,
+        )
+        twin.generation = self.generation
+        if self.share_encodings:
+            twin._encoder = self._encoder.fork(twin.cnf_counter)
+            if self.incremental:
+                twin._session = self._session.fork(twin._encoder)
+            else:
+                twin._session = SolverSession(twin._encoder)
+        return twin
+
+    def absorb_fork(self, fork: "Solver") -> int:
+        """Fold a fork's query/search stats and learned clauses back.
+
+        Returns the number of learned clauses imported into the shared
+        session (0 when the fork's session is unrelated or incremental
+        solving is off).
+        """
+        self.stats.absorb(fork.stats)
+        if self.share_encodings and self.incremental:
+            return self._session.absorb(fork._session)
+        return 0
+
+    # -- higher-level queries --------------------------------------------------
 
     def is_valid(self, term: Term) -> bool:
         """Does ``term`` hold under every assignment?"""

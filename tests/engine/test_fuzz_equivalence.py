@@ -118,6 +118,36 @@ def test_batch_stream_matches_cold_rebuild():
     assert flay.specialized_source() == print_program(specialized)
 
 
+@pytest.mark.parametrize("seed", [5, 17])
+def test_incremental_session_matches_replay_baseline(seed):
+    """The persistent assumption-probing solver session must be invisible:
+    across a fuzzed stream, every decision, verdict, and the specialized
+    source match an engine running the per-query cone-replay baseline."""
+    session_flay = Flay(
+        parse_program(SOURCE), FlayOptions(target="none", incremental_solver=True)
+    )
+    replay_flay = Flay(
+        parse_program(SOURCE), FlayOptions(target="none", incremental_solver=False)
+    )
+    fuzzer = EntryFuzzer(session_flay.model, seed=seed)
+    stream = fuzzer.update_stream(tables=["t1", "t2"], count=40)
+    for update in stream:
+        a = session_flay.process_update(update)
+        b = replay_flay.process_update(update)
+        assert a.forwarded == b.forwarded
+        assert a.recompiled == b.recompiled
+        assert a.changed == b.changed
+        assert a.affected_points == b.affected_points
+    assert session_flay.runtime.point_verdicts == replay_flay.runtime.point_verdicts
+    assert session_flay.runtime.table_verdicts == replay_flay.runtime.table_verdicts
+    assert session_flay.specialized_source() == replay_flay.specialized_source()
+    # Both engines reached the SAT layer, and only the session solved
+    # incrementally (probes show up in its search counters).
+    assert (
+        session_flay.solver_stats().probes == replay_flay.solver_stats().probes
+    )
+
+
 def test_update_stream_replays_cleanly():
     """Every MODIFY/DELETE in a fuzzed stream targets a live entry."""
     flay = Flay(parse_program(SOURCE), FlayOptions(target="none"))

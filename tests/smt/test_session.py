@@ -1,0 +1,204 @@
+"""Tests for the persistent assumption-probing solver session.
+
+The properties that matter: a session probe must agree with a fresh
+one-shot solve of the same term (incrementality is invisible to answers),
+models must decode against the original term, and the fork/export/absorb
+cycle used by the batch scheduler must be conservative.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.metrics import CacheCounter
+from repro.smt import terms as T
+from repro.smt.cnf import FragmentBitBlaster
+from repro.smt.session import SolverSession
+from repro.smt.solver import Solver
+
+
+def fresh_verdict(term) -> bool:
+    """Ground truth: a throw-away non-incremental solver."""
+    return Solver(share_encodings=False).check_sat(term).satisfiable
+
+
+def make_session() -> SolverSession:
+    return SolverSession(FragmentBitBlaster(CacheCounter("cnf")))
+
+
+def random_term(rng: random.Random, depth: int = 3):
+    """A random boolean term over a small shared variable pool."""
+    x = T.data_var("x", 8)
+    y = T.data_var("y", 8)
+    z = T.data_var("z", 8)
+
+    def bv(d):
+        if d == 0 or rng.random() < 0.3:
+            return rng.choice(
+                [x, y, z, T.bv_const(rng.randrange(256), 8)]
+            )
+        op = rng.choice([T.add, T.sub, T.bv_and, T.bv_or, T.bv_xor, T.mul])
+        return op(bv(d - 1), bv(d - 1))
+
+    def boolean(d):
+        if d == 0:
+            cmp = rng.choice([T.eq, T.ne, T.ult, T.ule])
+            return cmp(bv(depth), bv(depth))
+        op = rng.choice(["and", "or", "not", "leaf"])
+        if op == "and":
+            return T.bool_and(boolean(d - 1), boolean(d - 1))
+        if op == "or":
+            return T.bool_or(boolean(d - 1), boolean(d - 1))
+        if op == "not":
+            return T.bool_not(boolean(d - 1))
+        cmp = rng.choice([T.eq, T.ne, T.ult, T.ule])
+        return cmp(bv(depth), bv(depth))
+
+    return boolean(depth)
+
+
+class TestProbe:
+    def test_probe_matches_fresh_solver(self):
+        session = make_session()
+        x = T.data_var("x", 8)
+        sat_term = T.eq(x, T.bv_const(7, 8))
+        unsat_term = T.bool_and(
+            T.eq(x, T.bv_const(1, 8)), T.eq(x, T.bv_const(2, 8))
+        )
+        assert session.probe(sat_term) is True
+        assert session.probe(unsat_term) is False
+        # Answers are stable on re-probe (learned clauses notwithstanding).
+        assert session.probe(sat_term) is True
+        assert session.probe(unsat_term) is False
+
+    def test_model_satisfies_term(self):
+        session = make_session()
+        x = T.data_var("x", 8)
+        y = T.data_var("y", 8)
+        term = T.bool_and(
+            T.eq(T.add(x, y), T.bv_const(10, 8)), T.ult(x, T.bv_const(4, 8))
+        )
+        assert session.probe(term) is True
+        values = session.model_values(term)
+        assert T.evaluate(term, values) == 1
+
+    def test_earlier_queries_do_not_constrain_later_ones(self):
+        # Asserting x == 1 in one probe must not leak into the next: the
+        # activation guard keeps each root conditional.
+        session = make_session()
+        x = T.data_var("x", 8)
+        assert session.probe(T.eq(x, T.bv_const(1, 8))) is True
+        assert session.probe(T.eq(x, T.bv_const(2, 8))) is True
+        assert (
+            session.probe(
+                T.bool_and(
+                    T.eq(x, T.bv_const(1, 8)), T.eq(x, T.bv_const(2, 8))
+                )
+            )
+            is False
+        )
+        assert session.probe(T.eq(x, T.bv_const(1, 8))) is True
+
+    def test_fragments_loaded_once(self):
+        session = make_session()
+        x = T.data_var("x", 8)
+        base = T.add(x, T.bv_const(1, 8))
+        session.probe(T.eq(base, T.bv_const(3, 8)))
+        loaded = session.loaded_fragments
+        # Second query over the same subterm reuses its loaded cone.
+        session.probe(T.ne(base, T.bv_const(3, 8)))
+        assert session.loaded_fragments > loaded  # new root only
+        before = session.loaded_fragments
+        session.probe(T.eq(base, T.bv_const(3, 8)))  # fully repeated
+        assert session.loaded_fragments == before
+
+    def test_many_random_terms_agree_with_fresh(self):
+        rng = random.Random(7)
+        session = make_session()
+        for _ in range(40):
+            term = random_term(rng, depth=2)
+            assert session.probe(term) == fresh_verdict(term), T.to_string(term)
+
+
+class TestForkAbsorb:
+    def test_fork_probe_agrees(self):
+        parent = make_session()
+        x = T.data_var("x", 8)
+        parent.probe(T.eq(x, T.bv_const(1, 8)))
+        fork = parent.fork(parent.encoder.fork(CacheCounter("cnf-fork")))
+        term = T.bool_and(
+            T.ult(x, T.bv_const(9, 8)), T.ne(x, T.bv_const(3, 8))
+        )
+        assert fork.probe(term) == fresh_verdict(term)
+        # Parent still answers correctly afterwards.
+        assert parent.probe(term) == fresh_verdict(term)
+
+    def test_absorb_learned_clauses_is_conservative(self):
+        rng = random.Random(21)
+        parent = make_session()
+        warmup = [random_term(rng, depth=2) for _ in range(10)]
+        for term in warmup:
+            parent.probe(term)
+        fork = parent.fork(parent.encoder.fork(CacheCounter("cnf-fork")))
+        fork_terms = [random_term(rng, depth=2) for _ in range(10)]
+        expected = {term: fresh_verdict(term) for term in fork_terms}
+        for term in fork_terms:
+            assert fork.probe(term) == expected[term]
+        imported = parent.absorb(fork)
+        assert imported >= 0
+        # The merged parent still answers every query correctly.
+        for term in warmup + fork_terms:
+            assert parent.probe(term) == fresh_verdict(term)
+
+    def test_absorb_rejects_foreign_fork(self):
+        a = make_session()
+        b = make_session()
+        x = T.data_var("x", 8)
+        b.probe(T.eq(x, T.bv_const(1, 8)))
+        assert a.absorb(b) == 0
+
+
+class TestSolverFacadeFork:
+    def test_fork_slice_and_absorb(self):
+        rng = random.Random(3)
+        shared = Solver()
+        terms = [random_term(rng, depth=2) for _ in range(8)]
+        expected = {term: fresh_verdict(term) for term in terms}
+        for term in terms[:4]:
+            assert shared.check_sat(term).satisfiable == expected[term]
+        fork = shared.fork_slice()
+        for term in terms[4:]:
+            assert fork.check_sat(term).satisfiable == expected[term]
+        before = shared.stats.probes
+        shared.absorb_fork(fork)
+        assert shared.stats.probes == before + fork.stats.probes
+        for term in terms:
+            assert shared.check_sat(term).satisfiable == expected[term]
+
+    def test_replay_baseline_agrees_with_session(self):
+        rng = random.Random(11)
+        incremental = Solver(incremental=True)
+        replay = Solver(incremental=False)
+        for _ in range(25):
+            term = random_term(rng, depth=2)
+            assert (
+                incremental.check_sat(term).satisfiable
+                == replay.check_sat(term).satisfiable
+            ), T.to_string(term)
+
+
+@st.composite
+def term_strategy(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    return random_term(random.Random(seed), depth=2)
+
+
+@given(terms=st.lists(term_strategy(), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_session_stream_agrees_with_fresh_solves(terms):
+    # The incremental-solving core property: probing a stream of queries
+    # against one persistent session gives the same verdicts as solving
+    # each query in a fresh solver.
+    session = make_session()
+    for term in terms:
+        assert session.probe(term) == fresh_verdict(term)
