@@ -1,0 +1,179 @@
+"""The match-space FDD verdict gate: gated vs ungated warm verdicts.
+
+The common control-plane update lands in key space disjoint from every
+tainted path and changes no verdict.  The ungated engine still pays
+substitution + simplification + (for residual MAYBEs) a CDCL probe per
+executability point; the gate answers the same queries from witness
+fingerprints — a handful of FDD lookups per point.  This bench measures
+exactly that regime on the ``switch`` program: saturate a few tables so
+their dependent points go MAYBE and harvest witnesses, then time the
+verdict phase of a disjoint-heavy insert stream with the gate on and
+off.  A scion stream rides along for the cross-program picture (its
+records sit mostly on parser points the warm path never re-verdicts, so
+the gate is close to neutral there — the bench records it anyway).
+
+Acceptance (ISSUE 6): gated verdict throughput ≥ 5× ungated on the
+disjoint stream, with ≥ 80% of screens resolved without a solver probe.
+
+Set ``GATE_BENCH_JSON=/path/out.json`` to dump the measured numbers and
+per-layer gate counters (CI uploads that file as an artifact).
+"""
+
+import json
+import os
+import time
+
+from conftest import heading, make_flay
+from repro.runtime.fuzzer import EntryFuzzer
+
+SWITCH_TABLES = [
+    "SwitchIngress.nat_table",
+    "SwitchIngress.ipv4_multicast",
+    "SwitchIngress.ipv6_multicast",
+]
+SCION_TABLES = [f"ScionEgress.rewrite_mac_if{i}" for i in range(4)]
+WARMUP_SEED = 5
+STREAM_SEED = 17
+STREAM_COUNT = 200
+
+
+def instrument_verdicts(flay):
+    """Shadow ``point_verdict`` with a timing wrapper; returns the box.
+
+    The verdict phase is where the gate lives — batching the measurement
+    there keeps table maintenance, lowering, and printing (identical in
+    both configurations) out of the comparison.
+    """
+    qe = flay.runtime.ctx.query_engine
+    box = {"seconds": 0.0, "calls": 0}
+    original = qe.point_verdict
+
+    def timed(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return original(*args, **kwargs)
+        finally:
+            box["seconds"] += time.perf_counter() - start
+            box["calls"] += 1
+
+    qe.point_verdict = timed
+    return box
+
+
+def warmup_updates(flay, seed=WARMUP_SEED):
+    """One representative entry per action of every table: dependent
+    points go MAYBE and the gate harvests their witnesses."""
+    fuzzer = EntryFuzzer(flay.model, seed=seed)
+    updates = []
+    for table in sorted(flay.model.tables):
+        updates.extend(fuzzer.representative_updates(table, per_action=1))
+    return updates
+
+
+def disjoint_stream(flay, tables, seed=STREAM_SEED, count=STREAM_COUNT):
+    """Insert-only churn over random (disjoint-heavy) match keys."""
+    return EntryFuzzer(flay.model, seed=seed).update_stream(
+        tables=tables, count=count, modify_fraction=0.0, delete_fraction=0.0
+    )
+
+
+def run_config(program, tables, gated):
+    """(verdict_ms, calls, gate-delta stats or None, flay) for one run."""
+    flay = make_flay(program, fdd_gate=gated)
+    for update in warmup_updates(flay):
+        flay.process_update(update)
+    stream = disjoint_stream(flay, tables)
+    box = instrument_verdicts(flay)
+    before = flay.gate_stats() if gated else None
+    for update in stream:
+        flay.process_update(update)
+    delta = flay.gate_stats().since(before) if gated else None
+    return box["seconds"] * 1000, box["calls"], delta, flay
+
+
+def layer_counts(delta):
+    """Per-layer resolution counts: how many verdict queries each tier
+    of the stack absorbed (the ISSUE's interval / FDD / CDCL split)."""
+    return {
+        "fdd_witness_replays": delta.witness_hits + delta.witness_evals,
+        "interval_screen": delta.interval_decided,
+        "exec_cache": delta.exec_cache_hits,
+        "cdcl_probes": delta.solver_fallbacks,
+    }
+
+
+def bench_program(name, program, tables, timings):
+    gated_ms, gated_calls, delta, gated_flay = run_config(program, tables, True)
+    ungated_ms, ungated_calls, _, ungated_flay = run_config(
+        program, tables, False
+    )
+    # The ablation contract, checked on the bench workload itself.
+    assert gated_flay.specialized_source() == ungated_flay.specialized_source()
+    assert (
+        gated_flay.runtime.point_verdicts == ungated_flay.runtime.point_verdicts
+    )
+
+    speedup = ungated_ms / gated_ms if gated_ms else float("inf")
+    solver_free_rate = delta.solver_free / max(delta.screened, 1)
+    timings[f"{name}_gated_verdict_ms"] = gated_ms
+    timings[f"{name}_ungated_verdict_ms"] = ungated_ms
+    timings[f"{name}_verdict_speedup"] = speedup
+    timings[f"{name}_verdict_calls_gated"] = gated_calls
+    timings[f"{name}_verdict_calls_ungated"] = ungated_calls
+    timings[f"{name}_screens"] = delta.screened
+    timings[f"{name}_solver_free_rate"] = solver_free_rate
+    timings[f"{name}_witness_harvested"] = delta.harvested
+    for layer, count in layer_counts(delta).items():
+        timings[f"{name}_layer_{layer}"] = count
+
+    print(f"{name}: {STREAM_COUNT} disjoint-heavy inserts into {len(tables)} tables")
+    print(f"  ungated verdict phase: {ungated_ms:8.1f} ms ({ungated_calls} queries)")
+    print(f"  gated verdict phase:   {gated_ms:8.1f} ms ({gated_calls} queries)")
+    print(f"  speedup:               {speedup:8.2f}x")
+    print(
+        f"  layers: witness {timings[f'{name}_layer_fdd_witness_replays']}, "
+        f"interval {timings[f'{name}_layer_interval_screen']}, "
+        f"cached {timings[f'{name}_layer_exec_cache']}, "
+        f"cdcl {timings[f'{name}_layer_cdcl_probes']}"
+    )
+    print(
+        f"  solver-free: {delta.solver_free}/{delta.screened} screens "
+        f"({100 * solver_free_rate:.1f}%)"
+    )
+    return speedup, solver_free_rate
+
+
+def test_gate_speedup_on_disjoint_stream(benchmark, corpus_programs):
+    timings = {
+        "stream_count": STREAM_COUNT,
+        "warmup_seed": WARMUP_SEED,
+        "stream_seed": STREAM_SEED,
+    }
+
+    heading("FDD verdict gate: gated vs ungated warm verdict phase")
+    switch_speedup, switch_rate = bench_program(
+        "switch", corpus_programs["switch"], SWITCH_TABLES, timings
+    )
+    scion_speedup, _ = bench_program(
+        "scion", corpus_programs["scion"], SCION_TABLES, timings
+    )
+    print(f"acceptance: switch speedup {switch_speedup:.2f}x (bar: >= 5x), "
+          f"solver-free {100 * switch_rate:.1f}% (bar: >= 80%)")
+
+    # Register the gated switch verdict phase with pytest-benchmark.
+    def gated_run():
+        run_config(corpus_programs["switch"], SWITCH_TABLES, True)
+
+    benchmark.pedantic(gated_run, rounds=1, iterations=1)
+    benchmark.extra_info["switch_verdict_speedup"] = round(switch_speedup, 2)
+
+    out_path = os.environ.get("GATE_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(timings, handle, indent=2, sort_keys=True)
+        print(f"wrote {out_path}")
+
+    assert switch_speedup >= 5.0
+    assert switch_rate >= 0.8
+    # The scion stream must at least not regress meaningfully.
+    assert scion_speedup >= 0.5

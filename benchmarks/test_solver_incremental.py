@@ -137,6 +137,16 @@ def test_warm_probe_beats_cone_replay(benchmark, corpus_programs):
         flay.process_update(update)
     timings["scion_stream_ms"] = (time.perf_counter() - stream_start) * 1000
     timings["scion_stream_updates"] = len(stream)
+    # Per-layer verdict resolution over the stream: how many queries the
+    # witness/FDD tiers, the interval screen, and the CDCL probe pair each
+    # absorbed before the SAT workload below was ever reached.
+    gate = flay.gate_stats()
+    timings["scion_layer_fdd_witness_replays"] = (
+        gate.witness_hits + gate.witness_evals
+    )
+    timings["scion_layer_interval_screen"] = gate.interval_decided
+    timings["scion_layer_exec_cache"] = gate.exec_cache_hits
+    timings["scion_layer_cdcl_probes"] = gate.solver_fallbacks
     scion_terms = _harvest_sat_terms(flay)
     scion_results = _measure(scion_terms)
 
@@ -157,6 +167,13 @@ def test_warm_probe_beats_cone_replay(benchmark, corpus_programs):
     print(
         f"scion stream: {len(stream)} updates in "
         f"{timings['scion_stream_ms']:.0f} ms"
+    )
+    print(
+        "scion verdict layers: "
+        f"witness {timings['scion_layer_fdd_witness_replays']}, "
+        f"interval {timings['scion_layer_interval_screen']}, "
+        f"cached {timings['scion_layer_exec_cache']}, "
+        f"cdcl {timings['scion_layer_cdcl_probes']}"
     )
     _report("scion", scion_terms, scion_results, timings)
     _report("switch", switch_terms, switch_results, timings)

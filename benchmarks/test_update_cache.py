@@ -45,16 +45,28 @@ def test_flap_workload_cache_hits(benchmark, corpus_programs):
     warm_ms = cold_ms and (flay.runtime.mean_update_ms() * 2 * ENTRIES)
 
     stats = flay.cache_stats()
+    gate = flay.gate_stats()
     outcomes = log.of_type(UpdateProcessed)
     forwarded = sum(1 for o in outcomes if o.forwarded)
     heading("Update cache: flap workload (middleblock port profile)")
     print(stats.describe())
+    print(
+        "verdict layers: "
+        f"witness {gate.witness_hits + gate.witness_evals}, "
+        f"interval {gate.interval_decided}, cached {gate.exec_cache_hits}, "
+        f"cdcl {gate.solver_fallbacks}"
+    )
     print(
         f"cold install: {cold_ms:.1f} ms for {ENTRIES} updates; "
         f"mean warm flap cycle ≈ {warm_ms:.1f} ms"
     )
     print(f"outcomes: {forwarded}/{len(outcomes)} forwarded")
     benchmark.extra_info["cold_install_ms"] = round(cold_ms, 2)
+    benchmark.extra_info["layer_fdd_witness_replays"] = (
+        gate.witness_hits + gate.witness_evals
+    )
+    benchmark.extra_info["layer_interval_screen"] = gate.interval_decided
+    benchmark.extra_info["layer_cdcl_probes"] = gate.solver_fallbacks
 
     # The engine reported every update on the event bus.
     assert len(outcomes) == ENTRIES + FLAPS * 2 * ENTRIES

@@ -77,6 +77,7 @@ def cmd_specialize(args) -> int:
         target=args.target,
         skip_parser=args.skip_parser,
         effort=args.effort,
+        fdd_gate=not args.no_fdd_gate,
     )
     bus = EventBus()
     log = bus.attach_log() if args.stats else None
@@ -99,6 +100,11 @@ def cmd_specialize(args) -> int:
         print("# solver statistics:", file=sys.stderr)
         for line in flay.solver_stats().describe().splitlines():
             print(f"#   {line}", file=sys.stderr)
+        gate_stats = flay.gate_stats()
+        if gate_stats is not None:
+            print("# gate statistics:", file=sys.stderr)
+            for line in gate_stats.describe().splitlines():
+                print(f"#   {line}", file=sys.stderr)
     text = flay.specialized_source()
     if args.output:
         with open(args.output, "w") as handle:
@@ -175,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print pipeline events and cache hit/miss statistics to stderr",
+    )
+    p_spec.add_argument(
+        "--no-fdd-gate",
+        action="store_true",
+        help="disable the tiered pre-solver verdict gate (ablation; "
+        "output is byte-identical, only slower)",
     )
     p_spec.add_argument(
         "--batch",

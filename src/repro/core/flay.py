@@ -122,6 +122,11 @@ class Flay:
         """Query-layer and SAT-core counters (a ``SolverStats``)."""
         return self.runtime.solver_stats()
 
+    def gate_stats(self):
+        """Verdict-gate tier counters (a ``GateStats``), or None when
+        the gate is disabled (``fdd_gate=False``)."""
+        return self.runtime.gate_stats()
+
     def summary(self) -> str:
         log = self.runtime.update_log
         lines = [

@@ -391,11 +391,16 @@ class WorkerSlice:
         # so slice probes benefit from everything learned before the batch.
         solver = shared_qe.solver.fork_slice()
         solver._results = LayeredCache(shared_qe.solver._results)
+        # The verdict gate forks too: shared FDDs (read-only during group
+        # execution — all state mutation happened up front on the main
+        # thread), overlaid witness records, private counters.
+        gate = shared_qe.gate.fork_slice() if shared_qe.gate is not None else None
         self.query_engine = QueryEngine(
             ctx.model,
             solver=solver,
             use_solver=shared_qe.use_solver,
             solver_node_budget=shared_qe.solver_node_budget,
+            gate=gate,
         )
         self.query_engine._exec_cache = LayeredCache(shared_qe._exec_cache)
         self.query_engine._simplify_memo = LayeredMemo(shared_qe._simplify_memo)
@@ -424,6 +429,10 @@ class WorkerSlice:
         # Query stats, search stats, probe latencies, and the slice's
         # exportable learned clauses all fold back through the solver.
         learned = shared.absorb_fork(qe.solver)
+        # Gate tier counters and witness-record deltas fold back the same
+        # way; anchor-order iteration keeps the merge deterministic.
+        if qe.gate is not None:
+            shared_qe.gate.absorb_fork(qe.gate)
         return memo_entries, verdict_entries, learned
 
 

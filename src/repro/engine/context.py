@@ -41,6 +41,11 @@ class EngineOptions:
     # Persistent assumption-probing solver session; off = per-query cone
     # replay (the ablation baseline).
     incremental_solver: bool = True
+    # Tiered pre-solver verdict gate (match-space FDDs + witness
+    # fingerprints); off = every executability query pays substitution,
+    # simplification, and — for residual MAYBEs — the CDCL probe pair.
+    # Output is byte-identical either way (``--no-fdd-gate`` ablation).
+    fdd_gate: bool = True
 
 
 @dataclass
@@ -92,6 +97,7 @@ class EngineContext:
     model: Optional[object] = None  # DataPlaneModel
     state: Optional[object] = None  # ControlPlaneState
     query_engine: Optional[object] = None  # QueryEngine (verdict/CNF caches)
+    gate: Optional[object] = None  # VerdictGate (FDDs + witness records)
     specializer: Optional[object] = None  # Specializer
     solver_budget: Optional[SolverBudget] = None
     # The interning table every id()-keyed memo relies on.

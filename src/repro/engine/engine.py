@@ -18,6 +18,7 @@ from repro.engine.context import EngineContext, EngineOptions, EngineTimings
 from repro.engine.events import (
     CacheActivity,
     EventBus,
+    GateActivity,
     SolverActivity,
     UpdateLowered,
     UpdateProcessed,
@@ -158,9 +159,12 @@ class Engine:
         solver_before = (
             ctx.query_engine.solver.stats.snapshot() if ctx.bus.active else None
         )
+        gate_before = (
+            ctx.gate.snapshot() if ctx.bus.active and ctx.gate is not None else None
+        )
         report = schedule_batch(ctx, updates, workers=workers)
         if baseline is not None:
-            self._emit_activity(baseline, solver_before)
+            self._emit_activity(baseline, solver_before, gate_before)
         ctx.update_log.append(report)
         ctx.timings.update_ms.append(report.elapsed_ms)
         if not report.recompiled and ctx.target is not None:
@@ -194,6 +198,9 @@ class Engine:
         solver_before = (
             ctx.query_engine.solver.stats.snapshot() if ctx.bus.active else None
         )
+        gate_before = (
+            ctx.gate.snapshot() if ctx.bus.active and ctx.gate is not None else None
+        )
         start = time.perf_counter()
         ctx.warm = WarmState(updates=updates, mode=mode)
         try:
@@ -203,10 +210,10 @@ class Engine:
             ctx.warm = None
         elapsed_ms = (time.perf_counter() - start) * 1000
         if baseline is not None:
-            self._emit_activity(baseline, solver_before)
+            self._emit_activity(baseline, solver_before, gate_before)
         return warm, elapsed_ms
 
-    def _emit_activity(self, baseline, solver_before) -> None:
+    def _emit_activity(self, baseline, solver_before, gate_before=None) -> None:
         """Emit per-run cache and SAT-core deltas (bus known to be active)."""
         ctx = self.ctx
         for counter, before in zip(ctx.cache_counters(), baseline):
@@ -232,6 +239,22 @@ class Engine:
                         learned=stats.search.learned,
                         restarts=stats.search.restarts,
                         probe_us=stats.probe_us_total,
+                    )
+                )
+        if gate_before is not None and ctx.gate is not None:
+            delta = ctx.gate.snapshot().since(gate_before)
+            if delta.screened or delta.fdd_fast_inserts or delta.fdd_rebuilds:
+                ctx.bus.emit(
+                    GateActivity(
+                        screened=delta.screened,
+                        witness_hits=delta.witness_hits,
+                        exec_cache_hits=delta.exec_cache_hits,
+                        interval_decided=delta.interval_decided,
+                        witness_evals=delta.witness_evals,
+                        solver_fallbacks=delta.solver_fallbacks,
+                        harvested=delta.harvested,
+                        fdd_fast_inserts=delta.fdd_fast_inserts,
+                        fdd_rebuilds=delta.fdd_rebuilds,
                     )
                 )
 
@@ -319,6 +342,15 @@ class Engine:
     def solver_stats(self):
         """Query-layer and SAT-core counters (a ``SolverStats``)."""
         return self.ctx.query_engine.solver.stats
+
+    @property
+    def gate(self):
+        """The verdict gate, or None under ``--no-fdd-gate``."""
+        return self.ctx.gate
+
+    def gate_stats(self):
+        """Gate tier counters (a ``GateStats``), or None when gated off."""
+        return self.ctx.gate.snapshot() if self.ctx.gate is not None else None
 
     # -- context views (the pre-engine attribute surface) ----------------------
     # Everything below delegates to the context so code written against the

@@ -100,6 +100,29 @@ class BatchMerged(Event):
 
 
 @dataclass(frozen=True)
+class GateActivity(Event):
+    """Verdict-gate tier activity over one warm run (delta counters).
+
+    ``screened`` is the number of executability queries offered to the
+    gate; ``witness_hits`` were resolved pre-substitution from witness
+    fingerprints (tier 2a), ``interval_decided``/``witness_evals`` by the
+    non-solver tiers over the recomputed term, and ``solver_fallbacks``
+    reached the CDCL probe pair.  The ``fdd_*`` counters describe diagram
+    maintenance during the run.
+    """
+
+    screened: int
+    witness_hits: int
+    exec_cache_hits: int
+    interval_decided: int
+    witness_evals: int
+    solver_fallbacks: int
+    harvested: int
+    fdd_fast_inserts: int
+    fdd_rebuilds: int
+
+
+@dataclass(frozen=True)
 class SolverActivity(Event):
     """SAT-core search effort spent over one warm run (delta counters)."""
 

@@ -24,6 +24,7 @@ from typing import Optional
 from repro.analysis.symexec import analyze
 from repro.engine.context import EngineContext, SolverBudget
 from repro.engine.events import TargetCompiled
+from repro.engine.gate import VerdictGate
 from repro.engine.queries import QueryEngine
 from repro.engine.specialize import Specializer
 from repro.p4.parser import parse_program
@@ -169,10 +170,19 @@ class AnalysisPass:
                 else 400
             ),
         )
+        if options.fdd_gate:
+            # The gate attaches one match-space FDD per TableState and
+            # screens executability queries before solver dispatch; the
+            # ``--no-fdd-gate`` ablation leaves ``ctx.gate`` as None and
+            # the query engine on its pure-solver path.
+            ctx.gate = VerdictGate(
+                ctx.model, ctx.state, threshold=options.overapprox_threshold
+            )
         ctx.query_engine = QueryEngine(
             ctx.model,
             use_solver=options.use_solver,
             solver_node_budget=ctx.solver_budget.node_budget,
+            gate=ctx.gate,
         )
         ctx.query_engine.solver.max_conflicts = ctx.solver_budget.max_conflicts
         ctx.query_engine.solver.incremental = options.incremental_solver

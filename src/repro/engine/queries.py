@@ -100,6 +100,7 @@ class QueryEngine:
         solver: Optional[Solver] = None,
         use_solver: bool = True,
         solver_node_budget: int = 400,
+        gate=None,
     ) -> None:
         self.model = model
         if solver is None:
@@ -107,9 +108,18 @@ class QueryEngine:
         self.solver = solver
         self.use_solver = use_solver
         self.solver_node_budget = solver_node_budget
+        # Optional tiered pre-solver verdict gate (engine/gate.py).  When
+        # set, executability queries screen against witness fingerprints
+        # before substitution and run the interval/witness tiers before
+        # the probe pair; verdicts are identical either way (the gate
+        # tiers are ablation-safe by construction).
+        self.gate = gate
         # Cross-update caches.  Both are pure: post-substitution terms are
-        # hash-consed and contain no control symbols, so a verdict/simplified
-        # form computed once is correct forever (only an explicit
+        # hash-consed and a verdict is a function of the term alone (any
+        # residual control symbols — single-pass substitution leaves
+        # upstream tables' symbols inside replacement terms — are treated
+        # as free variables, consistently), so a verdict/simplified form
+        # computed once is correct forever (only an explicit
         # :meth:`invalidate` — a generation bump — ever drops them).
         self.exec_counter = CacheCounter("executability")
         self.generation = 0
@@ -139,11 +149,22 @@ class QueryEngine:
     ) -> PointVerdict:
         if memo is None:
             memo = self._simplify_memo
+        gate = self.gate
+        if gate is not None:
+            # Tier 2a: a fingerprint hit skips substitution, simplification,
+            # and the solver outright — the stored verdict is replayed.
+            verdict = gate.screen(point)
+            if verdict is not None:
+                return verdict
         term = simplify(substitution.apply(point.expr), memo=memo)
         if point.kind in (KIND_IF, KIND_SELECT):
-            return PointVerdict(
-                point.pid, point.kind, executability=self._executability(term)
-            )
+            if gate is not None:
+                executability = gate.decide(point, term, self)
+            else:
+                executability = self._executability(term)
+            return PointVerdict(point.pid, point.kind, executability=executability)
+        if gate is not None:
+            return gate.decide_constant(point, term, self)
         value = constant_value(term)
         return PointVerdict(
             point.pid, point.kind, constant=value, is_constant=value is not None

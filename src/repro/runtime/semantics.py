@@ -85,6 +85,9 @@ class TableState:
         self._active: Optional[list[TableEntry]] = []
         self._n_ternary = 0
         self._n_lpm = 0
+        # Optional match-space decision diagram (smt/fdd.py), attached by
+        # the verdict gate and maintained through :meth:`apply`/:meth:`clear`.
+        self.fdd = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,6 +96,24 @@ class TableState:
         return list(self._entries.values())
 
     def apply(self, op: str, entry: TableEntry) -> None:
+        self._apply_op(op, entry)
+        fdd = self.fdd
+        if fdd is None:
+            return
+        # Maintain the diagram incrementally: an insert into key space the
+        # diagram currently maps to MISS is a single exact overwrite (the
+        # disjoint-update common case); everything else defers to a lazy
+        # rebuild from the active list on the next gate consultation.
+        if op == INSERT:
+            cubes = fdd.entry_cubes(entry)
+            if cubes is None or not fdd.fast_insert(
+                cubes, fdd.leaf(entry.action, entry.args)
+            ):
+                fdd.mark_dirty()
+        else:
+            fdd.mark_dirty()
+
+    def _apply_op(self, op: str, entry: TableEntry) -> None:
         validate_entry(self.info, entry)
         key = entry.match_key()
         if op == INSERT:
@@ -143,6 +164,8 @@ class TableState:
         self._active = []
         self._n_ternary = 0
         self._n_lpm = 0
+        if self.fdd is not None:
+            self.fdd.reset()
 
     # -- ordering & eclipse ----------------------------------------------------
 

@@ -1,0 +1,296 @@
+"""Unit tests for the tiered verdict gate (engine/gate.py).
+
+The end-to-end speed claim lives in benchmarks/test_fdd_gate.py and the
+equivalence claim in test_gate_differential.py; this module pins the
+mechanics — counter bookkeeping, witness-record lifecycle, the tier
+ordering, and the batch-worker fork/absorb protocol.
+"""
+
+from repro.core import Flay, FlayOptions
+from repro.engine.events import EventBus, GateActivity
+from repro.engine.gate import GateStats, WitnessRecord, _ZeroDefault
+from repro.p4.parser import parse_program
+from repro.runtime.entries import ExactMatch, TableEntry
+from repro.runtime.semantics import DELETE, INSERT, Update
+
+SOURCE = """
+header h_t { bit<8> a; bit<8> b; bit<8> f; bit<8> g; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; bit<8> n; }
+parser P(inout headers_t hdr, inout meta_t meta) {
+    state start { pkt_extract(hdr.h); transition accept; }
+}
+control C(inout headers_t hdr, inout meta_t meta) {
+    action set(bit<8> v) { meta.m = v; }
+    action setn(bit<8> v) { meta.n = v; }
+    action noop() { }
+    table ta {
+        key = { hdr.h.a: exact; }
+        actions = { setn; noop; }
+        default_action = noop();
+    }
+    table t1 {
+        key = { hdr.h.f: ternary; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+    apply {
+        ta.apply();
+        t1.apply();
+        if (meta.n == 8w7) { hdr.h.g = 8w1; }
+    }
+}
+Pipeline(P(), C()) main;
+"""
+
+
+def make_flay(**options):
+    return Flay(parse_program(SOURCE), FlayOptions(target="none", **options))
+
+
+def insert_ta(key, arg, action="setn"):
+    args = () if action == "noop" else (arg,)
+    return Update("C.ta", INSERT, TableEntry((ExactMatch(key),), action, args, 0))
+
+
+# ---------------------------------------------------------------------------
+# GateStats bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class TestGateStats:
+    def test_solver_free_sums_non_probe_tiers(self):
+        stats = GateStats(
+            screened=10,
+            witness_hits=4,
+            exec_cache_hits=2,
+            interval_decided=1,
+            witness_evals=1,
+            solver_fallbacks=2,
+        )
+        assert stats.solver_free == 8
+
+    def test_snapshot_is_independent(self):
+        stats = GateStats(screened=3)
+        frozen = stats.snapshot()
+        stats.screened = 9
+        assert frozen.screened == 3
+
+    def test_since_subtracts_fieldwise(self):
+        before = GateStats(screened=3, harvested=1)
+        after = GateStats(screened=10, harvested=4, witness_hits=2)
+        delta = after.since(before)
+        assert delta.screened == 7
+        assert delta.harvested == 3
+        assert delta.witness_hits == 2
+
+    def test_absorb_adds_fieldwise(self):
+        total = GateStats(screened=5, solver_fallbacks=1)
+        total.absorb(GateStats(screened=2, solver_fallbacks=3, harvested=1))
+        assert total.screened == 7
+        assert total.solver_fallbacks == 4
+        assert total.harvested == 1
+
+    def test_describe_mentions_every_tier(self):
+        text = GateStats(screened=4, witness_hits=2).describe()
+        assert "screens: 4" in text
+        assert "witness 2" in text
+        assert "solver-free" in text
+        assert "fdd:" in text
+
+    def test_describe_survives_zero_screens(self):
+        assert "0.0%" in GateStats().describe()
+
+
+# ---------------------------------------------------------------------------
+# Wiring: option flag, stats surface, event emission
+# ---------------------------------------------------------------------------
+
+
+class TestWiring:
+    def test_gate_attached_by_default(self):
+        flay = make_flay()
+        assert flay.runtime.gate is not None
+        assert isinstance(flay.gate_stats(), GateStats)
+        # Every table got a diagram.
+        for state in flay.runtime.ctx.state.tables.values():
+            assert state.fdd is not None
+
+    def test_gate_absent_when_disabled(self):
+        flay = make_flay(fdd_gate=False)
+        assert flay.runtime.gate is None
+        assert flay.gate_stats() is None
+
+    def test_gate_activity_event_emitted(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(
+            lambda event: seen.append(event)
+            if isinstance(event, GateActivity)
+            else None
+        )
+        flay = Flay(parse_program(SOURCE), FlayOptions(target="none"), bus=bus)
+        flay.process_update(insert_ta(1, 7))
+        assert seen, "warm run should emit a GateActivity delta"
+        assert seen[-1].screened > 0
+
+
+# ---------------------------------------------------------------------------
+# Witness-record lifecycle on the real warm path
+# ---------------------------------------------------------------------------
+
+
+class TestWitnessLifecycle:
+    def test_maybe_point_harvests_witnesses(self):
+        flay = make_flay()
+        # setn(7) reachable iff h.a == 1 → the n==7 guard goes MAYBE and
+        # the probe pair's two models become the point's witnesses.
+        flay.process_update(insert_ta(1, 7))
+        gate = flay.runtime.gate
+        stats = flay.gate_stats()
+        assert stats.harvested >= 1
+        records = gate._records.map
+        assert records, "a MAYBE verdict should leave a witness record"
+        # Both record flavours appear: the MAYBE guard and at least one
+        # non-constant value point (distinguishing-pair harvest).
+        assert any(r.verdict.executability == "maybe" for r in records.values())
+        assert any(
+            r.verdict.executability is None and not r.verdict.is_constant
+            for r in records.values()
+        )
+        for pid, record in records.items():
+            # A record always certifies an existential fact.
+            assert (
+                record.verdict.executability == "maybe"
+                or not record.verdict.is_constant
+            )
+            # The cached key values agree with re-evaluating the models.
+            assert record.pos_keys == gate._key_values(pid, record.pos_model)
+            assert record.neg_keys == gate._key_values(pid, record.neg_model)
+
+    def test_disjoint_insert_replays_verdict_from_witnesses(self):
+        flay = make_flay()
+        flay.process_update(insert_ta(1, 7))
+        before = flay.gate_stats()
+        # Keys 200/201 are disjoint from both witnesses' key values, so
+        # the fingerprints hold and the stored MAYBE is replayed without
+        # a solver probe.
+        flay.process_update(insert_ta(200, 3))
+        flay.process_update(insert_ta(201, 4))
+        delta = flay.gate_stats().since(before)
+        assert delta.witness_hits >= 2
+        assert delta.solver_fallbacks == 0
+
+    def test_touching_a_witness_key_invalidates_the_record(self):
+        flay = make_flay()
+        update = insert_ta(1, 7)
+        flay.process_update(update)
+        before = flay.gate_stats()
+        # Deleting the entry changes the FDD leaf at the positive
+        # witness's key value → fingerprint miss → full re-decide, and
+        # the now-NEVER guard drops its record.
+        flay.process_update(Update("C.ta", DELETE, update.entry))
+        delta = flay.gate_stats().since(before)
+        assert delta.witness_hits == 0
+        verdicts = flay.runtime.ctx.point_verdicts
+        guard = next(
+            v for v in verdicts.values()
+            if v.kind == "if" and v.executability is not None
+        )
+        assert guard.executability == "never"
+
+    def test_gated_verdicts_match_ungated(self):
+        gated, ungated = make_flay(), make_flay(fdd_gate=False)
+        for update in [insert_ta(1, 7), insert_ta(9, 2), insert_ta(200, 7)]:
+            gated.process_update(update)
+            ungated.process_update(update)
+        a = gated.runtime.ctx.point_verdicts
+        b = ungated.runtime.ctx.point_verdicts
+        assert set(a) == set(b)
+        for pid in a:
+            assert a[pid] == b[pid], pid
+        assert gated.specialized_source() == ungated.specialized_source()
+
+
+# ---------------------------------------------------------------------------
+# fork_slice / absorb_fork (the batch-worker protocol)
+# ---------------------------------------------------------------------------
+
+
+class TestForkAbsorb:
+    def make_gate(self):
+        flay = make_flay()
+        flay.process_update(insert_ta(1, 7))
+        return flay.runtime.gate
+
+    def dummy_record(self, base):
+        return WitnessRecord(
+            verdict=base.verdict,
+            term=base.term,
+            pos_model=base.pos_model,
+            neg_model=base.neg_model,
+            pos_keys=base.pos_keys,
+            neg_keys=base.neg_keys,
+            fp_pos=base.fp_pos,
+            fp_neg=base.fp_neg,
+        )
+
+    def test_fork_shares_diagrams_and_overlays_records(self):
+        gate = self.make_gate()
+        fork = gate.fork_slice()
+        assert fork.state is gate.state
+        assert fork._deps is gate._deps
+        pid, record = next(iter(gate._records.map.items()))
+        # Reads fall through to the base...
+        assert fork._records.get(pid) is record
+        # ...writes stay in the overlay.
+        replacement = self.dummy_record(record)
+        fork._records.set(pid, replacement)
+        assert fork._records.get(pid) is replacement
+        assert gate._records.get(pid) is record
+
+    def test_fork_drop_is_a_tombstone_not_a_base_mutation(self):
+        gate = self.make_gate()
+        fork = gate.fork_slice()
+        pid = next(iter(gate._records.map))
+        fork._records.drop(pid)
+        assert fork._records.get(pid) is None
+        assert gate._records.get(pid) is not None
+
+    def test_absorb_fork_merges_records_and_counters(self):
+        gate = self.make_gate()
+        fork = gate.fork_slice()
+        fork.stats.screened = 5
+        fork.stats.witness_hits = 3
+        pid, record = next(iter(gate._records.map.items()))
+        replacement = self.dummy_record(record)
+        fork._records.set(pid, replacement)
+        fork._records.set("synthetic::pid", replacement)
+        before = gate.stats.snapshot()
+        grafted = gate.absorb_fork(fork)
+        assert grafted == 2
+        assert gate._records.get(pid) is replacement
+        assert gate._records.get("synthetic::pid") is replacement
+        delta = gate.stats.since(before)
+        assert delta.screened == 5
+        assert delta.witness_hits == 3
+        gate._records.drop("synthetic::pid")
+
+    def test_absorb_fork_applies_tombstones(self):
+        gate = self.make_gate()
+        fork = gate.fork_slice()
+        pid = next(iter(gate._records.map))
+        fork._records.drop(pid)
+        gate.absorb_fork(fork)
+        assert gate._records.get(pid) is None
+
+
+# ---------------------------------------------------------------------------
+# _ZeroDefault
+# ---------------------------------------------------------------------------
+
+
+def test_zero_default_reads_absent_variables_as_zero():
+    model = _ZeroDefault({"x": 5})
+    assert model["x"] == 5
+    assert model["never_assigned"] == 0

@@ -1,0 +1,334 @@
+"""FDD invariants and brute-force equivalence against table semantics.
+
+The gate's soundness rests on three structural properties of
+:class:`repro.smt.fdd.TableFdd` — reduced, ordered, hash-consed — plus
+one semantic one: the diagram's winner at any key vector equals the
+first-match-wins winner over ``active_entries()``.  These tests pin all
+four, by hand on crafted tables and by Hypothesis over random ones.
+"""
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+from repro.analysis.model import KeyInfo, TableInfo
+from repro.runtime.entries import (
+    ExactMatch,
+    LpmMatch,
+    TableEntry,
+    TernaryMatch,
+    match_hits,
+)
+from repro.runtime.semantics import INSERT, TableState
+from repro.smt import terms as T
+from repro.smt.fdd import (
+    MAX_ENTRIES,
+    FddNode,
+    TableFdd,
+    mask_intervals,
+)
+
+
+# ---------------------------------------------------------------------------
+# mask_intervals
+# ---------------------------------------------------------------------------
+
+
+def brute_intervals(value, mask, width):
+    """Reference: enumerate matching points, merge into intervals."""
+    points = [v for v in range(1 << width) if (v & mask) == (value & mask)]
+    intervals, start = [], None
+    for i, v in enumerate(points):
+        if start is None:
+            start = v
+        if i + 1 == len(points) or points[i + 1] != v + 1:
+            intervals.append((start, v))
+            start = None
+    return intervals
+
+
+def test_mask_intervals_full_mask_is_point():
+    assert mask_intervals(5, 0xFF, 8) == [(5, 5)]
+
+
+def test_mask_intervals_zero_mask_is_domain():
+    assert mask_intervals(123, 0, 8) == [(0, 255)]
+
+
+def test_mask_intervals_prefix_mask_is_single_interval():
+    assert mask_intervals(0x40, 0xC0, 8) == [(0x40, 0x7F)]
+
+
+def test_mask_intervals_sparse_mask_fragments():
+    # Caring only about bit 2: two matching values per 8-value block.
+    got = mask_intervals(0b100, 0b100, 4)
+    assert got == brute_intervals(0b100, 0b100, 4)
+    assert len(got) == 2
+
+
+def test_mask_intervals_matches_brute_force():
+    for width in (4, 6):
+        for mask in range(1 << width):
+            got = mask_intervals(0, mask, width)
+            if got is None:
+                continue
+            assert got == brute_intervals(0, mask, width), (mask, width)
+
+
+def test_mask_intervals_overflow_returns_none():
+    # Caring only about the LOW bit of a wide field means one interval
+    # per even value — 2^47 of them, far past MAX_INTERVALS.
+    assert mask_intervals(0, 1, 48) is None
+
+
+# ---------------------------------------------------------------------------
+# Table helpers
+# ---------------------------------------------------------------------------
+
+
+ACTIONS = ["hit_a", "hit_b", "hit_0", "hit_1", "hit_2"]
+
+
+def make_table(match_kinds, widths, name="t"):
+    keys = [
+        KeyInfo(term=T.data_var(f"{name}.k{i}", w), match_kind=kind, width=w)
+        for i, (kind, w) in enumerate(zip(match_kinds, widths))
+    ]
+    codes = {a: i for i, a in enumerate(ACTIONS + ["miss"])}
+    return TableInfo(
+        name=f"C.{name}",
+        local_name=name,
+        control="C",
+        keys=keys,
+        action_order=list(ACTIONS),
+        action_codes=codes,
+        default_action="miss",
+        default_args=(),
+        action_params={},
+        size=None,
+        selector_var=T.control_var(f"|C.{name}.action|", 8),
+        hit_var=T.control_var(f"|C.{name}.hit|", 1),
+        apply_condition=T.TRUE,
+    )
+
+
+def reference_winner(state, key_values):
+    """First-match-wins over active_entries(), like encode_table's fold."""
+    widths = state.info.key_widths()
+    for entry in state.active_entries():
+        if all(
+            match_hits(match, value, width)
+            for match, value, width in zip(entry.matches, key_values, widths)
+        ):
+            return (entry.action, entry.args)
+    return None
+
+
+def winner_from_leaf(leaf):
+    return None if leaf.is_miss else (leaf.action, leaf.args)
+
+
+# ---------------------------------------------------------------------------
+# Structural invariants
+# ---------------------------------------------------------------------------
+
+
+def test_empty_table_is_miss_everywhere():
+    info = make_table(["exact"], [8])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    assert fdd.lookup((0,)).is_miss
+    assert fdd.lookup((255,)).is_miss
+    fdd.check_invariants()
+
+
+def test_insert_lookup_and_invariants():
+    info = make_table(["exact", "ternary"], [8, 8])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    state.apply(INSERT, TableEntry((ExactMatch(3), TernaryMatch(0, 0)), "hit_a", (), 5))
+    state.apply(INSERT, TableEntry((ExactMatch(3), TernaryMatch(7, 0xFF)), "hit_b", (), 9))
+    fdd.root(state)
+    fdd.check_invariants()
+    for keys in [(3, 0), (3, 7), (4, 7), (0, 0)]:
+        leaf = fdd.lookup(keys)
+        assert winner_from_leaf(leaf) == reference_winner(state, keys), keys
+
+
+def test_hash_consing_structurally_equal_is_pointer_equal():
+    fdd = TableFdd((8,))
+    a1 = fdd.leaf("act", (1, 2))
+    a2 = fdd.leaf("act", (1, 2))
+    assert a1 is a2
+    n1 = fdd.node(0, ((10, a1), (255, fdd.miss)))
+    n2 = fdd.node(0, ((10, a2), (255, fdd.miss)))
+    assert n1 is n2
+
+
+def test_node_merges_adjacent_equal_children():
+    fdd = TableFdd((8,))
+    leaf = fdd.leaf("act", ())
+    node = fdd.node(0, ((10, leaf), (20, leaf), (255, fdd.miss)))
+    assert isinstance(node, FddNode)
+    assert node.edges == ((20, leaf), (255, fdd.miss))
+
+
+def test_node_collapses_single_edge_to_child():
+    fdd = TableFdd((8,))
+    leaf = fdd.leaf("act", ())
+    collapsed = fdd.node(0, ((100, leaf), (255, leaf)))
+    assert collapsed is leaf
+
+
+def test_leaf_identity_survives_rebuild():
+    """The intern tables outlive rebuilds — leaf identity is a stable
+    fingerprint component across incremental maintenance."""
+    info = make_table(["exact"], [8])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    state.apply(INSERT, TableEntry((ExactMatch(1),), "hit_a", (), 0))
+    fdd.root(state)
+    before = fdd.lookup((1,))
+    state.apply(INSERT, TableEntry((ExactMatch(200),), "hit_b", (), 0))
+    fdd.root(state)
+    after = fdd.lookup((1,))
+    assert before is after
+
+
+# ---------------------------------------------------------------------------
+# fast_insert vs rebuild
+# ---------------------------------------------------------------------------
+
+
+def test_fast_insert_disjoint_region_avoids_rebuild():
+    info = make_table(["exact"], [16])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    fdd.root(state)
+    rebuilds_before = fdd.rebuilds
+    for i in range(20):
+        state.apply(INSERT, TableEntry((ExactMatch(i),), "hit_a", (), 0))
+    assert fdd.root(state) is not None
+    assert fdd.rebuilds == rebuilds_before
+    assert fdd.fast_ops == 20
+    fdd.check_invariants()
+    for i in range(20):
+        assert winner_from_leaf(fdd.lookup((i,))) == ("hit_a", ())
+
+
+def test_overlapping_insert_falls_back_to_rebuild():
+    info = make_table(["ternary"], [8])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    fdd.root(state)
+    state.apply(INSERT, TableEntry((TernaryMatch(0, 0),), "hit_a", (), 1))
+    # Second entry overlaps the wildcard → precedence matters → rebuild.
+    state.apply(INSERT, TableEntry((TernaryMatch(5, 0xFF),), "hit_b", (), 2))
+    assert fdd.root(state) is not None
+    assert fdd.rebuilds >= 1
+    for keys in [(0,), (5,), (200,)]:
+        assert winner_from_leaf(fdd.lookup(keys)) == reference_winner(state, keys)
+
+
+def test_opaque_on_entry_overflow():
+    fdd = TableFdd((8,))
+    fdd.rebuild([
+        TableEntry((ExactMatch(i % 256),), "hit_a", (), 0)
+        for i in range(MAX_ENTRIES + 1)
+    ])
+    assert fdd.root() is None
+    assert fdd.lookup((0,)) is None
+
+
+def test_opaque_on_uncubeable_entry():
+    # Caring about only the low bit of a wide key explodes the intervals.
+    fdd = TableFdd((48,))
+    fdd.rebuild([TableEntry((TernaryMatch(0, 1),), "hit_a", (), 0)])
+    assert fdd.root() is None
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random tables match first-match-wins semantics
+# ---------------------------------------------------------------------------
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def table_and_probes(draw):
+        width = draw(st.sampled_from([4, 6, 8]))
+        kinds = draw(
+            st.lists(
+                st.sampled_from(["exact", "ternary", "lpm"]),
+                min_size=1,
+                max_size=2,
+            )
+        )
+        info = make_table(kinds, [width] * len(kinds))
+        state = TableState(info)
+        fdd = TableFdd(info.key_widths())
+        state.fdd = fdd
+        n_entries = draw(st.integers(min_value=0, max_value=8))
+        for i in range(n_entries):
+            matches = []
+            for kind in kinds:
+                value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+                if kind == "exact":
+                    matches.append(ExactMatch(value))
+                elif kind == "ternary":
+                    mask = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+                    matches.append(TernaryMatch(value & mask, mask))
+                else:
+                    plen = draw(st.integers(min_value=0, max_value=width))
+                    mask = ((1 << plen) - 1) << (width - plen) if plen else 0
+                    matches.append(LpmMatch(value & mask, plen))
+            priority = draw(st.integers(min_value=0, max_value=7))
+            entry = TableEntry(
+                tuple(matches), f"hit_{i % 3}", (), priority
+            )
+            try:
+                state.apply(INSERT, entry)
+            except Exception:
+                pass  # duplicate match key — skip
+        probes = draw(
+            st.lists(
+                st.tuples(
+                    *[
+                        st.integers(min_value=0, max_value=(1 << width) - 1)
+                        for _ in kinds
+                    ]
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        return state, fdd, probes
+
+    @settings(max_examples=60, deadline=None)
+    @given(table_and_probes())
+    def test_fdd_matches_first_match_wins(case):
+        state, fdd, probes = case
+        if fdd.root(state) is None:
+            return  # opaque — the gate degrades, nothing to check
+        fdd.check_invariants()
+        for keys in probes:
+            assert winner_from_leaf(fdd.lookup(keys)) == reference_winner(
+                state, keys
+            ), keys
+
+    @settings(max_examples=60, deadline=None)
+    @given(table_and_probes())
+    def test_fdd_rebuild_reaches_same_root_as_incremental(case):
+        """Determinism: a from-scratch rebuild of the same active entries
+        lands on the pointer-identical root (hash-consing)."""
+        state, fdd, _ = case
+        incremental = fdd.root(state)
+        fdd.mark_dirty()
+        assert fdd.root(state) is incremental

@@ -117,3 +117,71 @@ def test_bool_verdicts_sound(a, b, x):
         assert concrete == 1
     elif verdict == I.DEFINITELY_FALSE:
         assert concrete == 0
+
+
+class TestGateScreenEdgeCases:
+    """Boundary behaviour the tier-1 verdict-gate screen leans on."""
+
+    def test_zero_width_style_point_intervals(self):
+        # A zero-width (point) interval at each end of the domain.
+        low = I.Interval(0, 0)
+        high = I.Interval(255, 255)
+        assert low.is_point and high.is_point
+        assert low.contains(0) and not low.contains(1)
+        assert high.contains(255) and not high.contains(254)
+        assert not low.intersects(high)
+
+    def test_intersects_boundary_values(self):
+        # Touching at exactly one point counts as intersecting.
+        assert I.Interval(0, 10).intersects(I.Interval(10, 10))
+        assert I.Interval(10, 10).intersects(I.Interval(0, 10))
+        # Off by one does not.
+        assert not I.Interval(0, 9).intersects(I.Interval(10, 10))
+        # Containment is intersection too.
+        assert I.Interval(0, 255).intersects(I.Interval(17, 17))
+
+    def test_contains_boundaries(self):
+        box = I.Interval(5, 9)
+        assert box.contains(5) and box.contains(9)
+        assert not box.contains(4) and not box.contains(10)
+
+    def test_full_domain_mask_conjunction(self):
+        # x & 0xFF == x for 8-bit x: the mask is a no-op, the comparison
+        # stays undecidable (x is free).
+        term = T.eq(T.bv_and(X, c(0xFF)), c(3))
+        assert I.eval_bool(term) == I.UNKNOWN
+
+    def test_zero_mask_decides_definitely(self):
+        # x & 0 is the point interval [0, 0]: equality against zero is
+        # definite-true, against anything else definite-false.
+        masked = T.bv_and(X, c(0))
+        assert I.eval_interval(masked) == I.Interval(0, 0)
+        assert I.eval_bool(T.eq(masked, c(0))) == I.DEFINITELY_TRUE
+        assert I.eval_bool(T.eq(masked, c(7))) == I.DEFINITELY_FALSE
+
+    def test_eval_bool_mixed_known_unknown_and(self):
+        # AND short-circuits on a definite-false conjunct even when the
+        # other side is unknown — the shape the gate's NEVER tier relies
+        # on.
+        unknown = T.eq(X, c(3))
+        false_side = T.eq(c(1), c(2))
+        assert I.eval_bool(unknown) == I.UNKNOWN
+        assert I.eval_bool(T.bool_and(unknown, false_side)) == I.DEFINITELY_FALSE
+        assert I.eval_bool(T.bool_and(false_side, unknown)) == I.DEFINITELY_FALSE
+
+    def test_eval_bool_mixed_known_unknown_or(self):
+        unknown = T.eq(X, c(3))
+        true_side = T.eq(c(2), c(2))
+        assert I.eval_bool(T.bool_or(unknown, true_side)) == I.DEFINITELY_TRUE
+        assert I.eval_bool(T.bool_or(true_side, unknown)) == I.DEFINITELY_TRUE
+        # unknown OR false stays unknown.
+        false_side = T.eq(c(1), c(2))
+        assert I.eval_bool(T.bool_or(unknown, false_side)) == I.UNKNOWN
+
+    def test_eval_bool_disjoint_ranges_decide_comparison(self):
+        # x | 0xF0 lives in [0xF0, 0xFF]; comparing against a constant
+        # below that range is definitely false.
+        high = T.bv_or(X, c(0xF0))
+        assert I.eval_bool(T.eq(high, c(0x10))) == I.DEFINITELY_FALSE
+        assert I.eval_bool(T.ult(high, c(0xF0))) == I.DEFINITELY_FALSE
+        assert I.eval_bool(T.ult(c(0x10), high)) == I.DEFINITELY_TRUE
