@@ -1,0 +1,108 @@
+"""Executor matrix: serial vs thread vs process pools over real bursts.
+
+Two workloads, each run through every executor at worker counts 1 and 4:
+
+* **scion burst** — the saturated 240-insert spray over four independent
+  per-interface MAC-rewrite tables from ``test_batch_burst`` (four
+  conflict groups, the best case for pool parallelism);
+* **switch disjoint stream** — warm up every table with one entry per
+  action, then a 200-insert disjoint-heavy stream over the three NAT /
+  multicast tables from ``test_fdd_gate`` (gate-friendly, fewer groups).
+
+What this bench *asserts* is the transport contract, not a speedup:
+output (verdicts + specialized source) is byte-identical across every
+cell of the matrix, and every merge passes the double-counting tripwire
+(``schedule_batch`` checks it on each batch).  What it *records* is the
+honest wall-clock picture for the machine it ran on, including
+``cpu_count``: on a single-CPU container the process executor cannot
+win — it pays fork + arena-pickle overhead with no parallel cycles
+available — and the numbers say so.  The GIL-escape claim is only
+testable on a multi-core runner (CI uploads this file's JSON as the
+BENCH_7 artifact from a matrix cell; read it next to ``cpu_count``).
+
+Set ``MULTICORE_BENCH_JSON=/path/out.json`` to dump the measured numbers.
+"""
+
+import json
+import os
+
+from conftest import heading, make_flay
+from test_batch_burst import _workload as scion_workload
+from test_fdd_gate import SWITCH_TABLES, disjoint_stream, warmup_updates
+
+EXECUTORS = ("serial", "thread", "process")
+WORKER_COUNTS = (1, 4)
+
+
+def switch_workload(corpus_programs, seed=11):
+    """A warmed switch engine plus a 200-insert disjoint-heavy stream."""
+    flay = make_flay(corpus_programs["switch"])
+    flay.process_batch(warmup_updates(flay))
+    stream = disjoint_stream(flay, SWITCH_TABLES, seed=seed)
+    return flay, stream
+
+
+def run_matrix(results, name, build):
+    """Run every executor × worker cell of one workload; record timings
+    and check byte-identical output against the serial baseline."""
+    baseline = None
+    for executor in EXECUTORS:
+        for workers in WORKER_COUNTS:
+            flay, burst = build()
+            report = flay.apply_batch(burst, workers=workers, executor=executor)
+            results[f"{name}_{executor}_w{workers}_ms"] = report.elapsed_ms
+            output = (
+                dict(flay.runtime.point_verdicts),
+                flay.specialized_source(),
+            )
+            if baseline is None:
+                baseline = output
+                results[f"{name}_updates"] = report.update_count
+                results[f"{name}_groups"] = report.group_count
+            else:
+                assert output == baseline, (
+                    f"{name}: {executor}/w{workers} diverged from serial"
+                )
+    serial = results[f"{name}_serial_w1_ms"]
+    for executor in ("thread", "process"):
+        results[f"{name}_{executor}_w4_speedup_vs_serial"] = (
+            serial / results[f"{name}_{executor}_w4_ms"]
+        )
+
+
+def test_executor_matrix(benchmark, corpus_programs):
+    results = {"cpu_count": os.cpu_count() or 1}
+
+    run_matrix(
+        results, "scion", lambda: scion_workload(corpus_programs)
+    )
+    run_matrix(
+        results, "switch", lambda: switch_workload(corpus_programs)
+    )
+
+    # Register the process-pool scion cell with pytest-benchmark's stats.
+    def process_cell():
+        flay, burst = scion_workload(corpus_programs)
+        return flay.apply_batch(burst, workers=4, executor="process")
+
+    benchmark.pedantic(process_cell, rounds=3, iterations=1)
+
+    heading("Executor matrix: serial / thread / process × workers 1 / 4")
+    print(f"cpu_count: {results['cpu_count']}")
+    for name in ("scion", "switch"):
+        print(
+            f"{name}: {results[f'{name}_updates']} updates, "
+            f"{results[f'{name}_groups']} conflict groups"
+        )
+        for executor in EXECUTORS:
+            row = "  ".join(
+                f"w{w}: {results[f'{name}_{executor}_w{w}_ms']:8.1f} ms"
+                for w in WORKER_COUNTS
+            )
+            print(f"  {executor:<8} {row}")
+
+    out_path = os.environ.get("MULTICORE_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {out_path}")

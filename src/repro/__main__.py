@@ -5,10 +5,11 @@ Commands:
 * ``stats <prog.p4>`` — program metrics (statements, tables, paths).
 * ``analyze <prog.p4>`` — run the data-plane analysis, print point counts
   and timings (optionally dump the annotated points).
-* ``specialize <prog.p4> [--config cfg.json] [--batch --workers N]`` —
-  specialize against a JSON control-plane configuration and print (or
-  write) the result; ``--batch`` routes the configuration through the
-  coalescing, conflict-group-parallel batch scheduler.
+* ``specialize <prog.p4> [--config cfg.json] [--batch --workers N
+  --executor thread|process|serial]`` — specialize against a JSON
+  control-plane configuration and print (or write) the result;
+  ``--batch`` routes the configuration through the coalescing,
+  conflict-group-parallel batch scheduler.
 * ``compile <prog.p4> [--target tofino|bmv2]`` — device-compile and print
   the resource/time report.
 * ``corpus`` — list the bundled evaluation programs.
@@ -86,7 +87,9 @@ def cmd_specialize(args) -> int:
         configuration = config_mod.load(args.config)
         if args.batch:
             decision = flay.apply_batch(
-                configuration.updates(), workers=args.workers
+                configuration.updates(),
+                workers=args.workers,
+                executor=args.executor,
             )
         else:
             decision = flay.process_batch(configuration.updates())
@@ -197,8 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="worker-pool width for --batch (default: 1)",
+        default=0,
+        help="worker-pool width for --batch; 0 (the default) auto-detects "
+        "the machine's CPU count via os.cpu_count()",
+    )
+    p_spec.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="batch executor strategy: worker threads, forked worker "
+        "processes (escapes the GIL), or forced-inline serial; unset "
+        "falls back to the FLAY_EXECUTOR environment variable, then "
+        "the engine default (thread). Output is byte-identical across "
+        "all three.",
     )
     p_spec.add_argument(
         "--target",

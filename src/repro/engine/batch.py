@@ -18,34 +18,61 @@ touch independent tables.  This module is the burst scheduler:
    linked in the :mod:`repro.ir.deps` table dependency graph.  Groups are
    independent by construction: no program point, control symbol, or memo
    entry is touched by two groups.
-3. **Execute** — independent groups run concurrently on a
-   :mod:`concurrent.futures` worker pool.  Each worker gets a private
-   :class:`WorkerSlice` over the shared :class:`EngineContext`: a
-   copy-on-write view of the delta-substitution memo plus layered
-   verdict/solver caches, so nothing shared is written while siblings
-   read.  The hash-consing term factory *is* shared (its interning is a
-   single atomic dict operation), which keeps term identity — and
-   therefore every downstream memo key — consistent across workers.
+3. **Execute** — independent groups run concurrently, on one of three
+   interchangeable *executors* (``FlayOptions.executor``, overridable per
+   call or via the ``FLAY_EXECUTOR`` environment variable):
+
+   * ``"thread"`` (default) — a :mod:`concurrent.futures` thread pool.
+     Each worker gets a private :class:`WorkerSlice` over the shared
+     :class:`EngineContext`: a copy-on-write view of the
+     delta-substitution memo plus layered verdict/solver caches, so
+     nothing shared is written while siblings read.  The hash-consing
+     term factory *is* shared (its interning is a single atomic dict
+     operation), which keeps term identity — and therefore every
+     downstream memo key — consistent across workers.
+   * ``"process"`` — one forked worker *process* per group, in waves
+     capped at the pool width.  Fork semantics do the heavy lifting: the
+     child inherits the whole engine image (terms, caches, its
+     pre-built slice) copy-on-write, runs the exact same
+     :func:`run_group`, and ships its results back over a pipe as a
+     picklable payload — terms ride in a
+     :class:`~repro.smt.arena.TermArena`, learned CDCL clauses as plain
+     literal lists, stats as dataclasses.  This is the GIL escape hatch:
+     group solving runs on real cores.
+   * ``"serial"`` — force inline execution on the calling thread (the
+     differential-testing baseline).
+
 4. **Merge** — after the pool joins, worker cache deltas are folded back
    into the shared context on the main thread, in deterministic group
    order (first-seen input index), and verdict changes are collected.
+   Thread slices graft their overlays directly; process payloads are
+   decoded through the shared term factory first (interning makes the
+   decoded terms *identical* to what a thread worker would have
+   produced), then merged through the same anchor-order fold.  A
+   double-counting tripwire checks that per-worker solver/gate stat
+   deltas sum exactly to the merged delta.
 
-Results are deterministic and byte-identical to sequential processing:
-verdicts and the specialized program are pure functions of the final
-control-plane state, and forwarded updates are lowered in their original
-input order — not per-group — so the device sees the exact stream a
-sequential warm path would have sent.
+Results are deterministic and byte-identical to sequential processing
+across all executors and worker counts: verdicts and the specialized
+program are pure functions of the final control-plane state, and
+forwarded updates are lowered in their original input order — not
+per-group — so the device sees the exact stream a sequential warm path
+would have sent.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.engine.context import EngineContext
 from repro.engine.events import BatchMerged, BatchScheduled, TargetCompiled
+from repro.engine.gate import GateStats
 from repro.engine.queries import QueryEngine
 from repro.ir.deps import build_dependency_graph
 from repro.runtime.entries import EntryError
@@ -53,11 +80,14 @@ from repro.runtime.semantics import (
     DELETE,
     INSERT,
     MODIFY,
+    TableAssignment,
     Update,
     ValueSetUpdate,
     encode_table,
     encode_value_set,
 )
+from repro.smt.arena import TermArena
+from repro.smt.solver import SatResult, SolverStats
 
 
 # ---------------------------------------------------------------------------
@@ -405,6 +435,17 @@ class WorkerSlice:
         self.query_engine._exec_cache = LayeredCache(shared_qe._exec_cache)
         self.query_engine._simplify_memo = LayeredMemo(shared_qe._simplify_memo)
 
+    @property
+    def solver_stats_delta(self) -> SolverStats:
+        """Query/search stats this slice accumulated (fresh at fork)."""
+        return self.query_engine.solver.stats
+
+    @property
+    def gate_stats_delta(self) -> Optional[GateStats]:
+        """Gate tier counters this slice accumulated (fresh at fork)."""
+        gate = self.query_engine.gate
+        return gate.stats if gate is not None else None
+
     def merge_into(self, ctx: EngineContext) -> tuple[int, int, int]:
         """Fold this slice's cache deltas into the shared context.
 
@@ -525,6 +566,300 @@ def run_group(ctx: EngineContext, group: ConflictGroup, piece: WorkerSlice) -> G
 
 
 # ---------------------------------------------------------------------------
+# The process executor — fork, run, ship an arena payload back
+# ---------------------------------------------------------------------------
+
+#: Executor strategies ``schedule_batch`` understands.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def resolve_executor(executor: Optional[str], ctx: EngineContext) -> str:
+    """Resolution order: explicit argument > ``FLAY_EXECUTOR`` > options."""
+    if executor is None:
+        executor = os.environ.get("FLAY_EXECUTOR") or None
+    if executor is None:
+        executor = getattr(ctx.options, "executor", "thread") or "thread"
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown batch executor {executor!r} "
+            f"(choose from {', '.join(EXECUTORS)})"
+        )
+    return executor
+
+
+def resolve_workers(workers: int) -> int:
+    """Pool width; 0 (or negative) auto-detects the machine's CPU count."""
+    workers = int(workers)
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unavailable.
+
+    The process executor *requires* fork-style start: children must
+    inherit the engine image (terms, fragments, their pre-built slice)
+    rather than re-import it, both because terms refuse to pickle and
+    because inheriting the warm caches is the whole point.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def _encode_outcome(outcome: GroupOutcome) -> dict:
+    """Flatten one group's results into a picklable payload (child side).
+
+    Everything term-valued rides in one :class:`TermArena`; clause lists,
+    verdict dataclasses, stats, and counter deltas are picklable as-is.
+    The id-keyed simplify-memo delta is deliberately dropped: its entries
+    key on child-process object identities, and it is a pure speed cache
+    — output is identical without it.
+    """
+    piece = outcome.slice
+    qe = piece.query_engine
+    solver = qe.solver
+    arena = TermArena()
+    learned: list = []
+    if solver.share_encodings and solver.incremental:
+        learned = solver.session.export_learned()
+    gate = qe.gate
+    return {
+        "mapping": [
+            (arena.encode(var), arena.encode(term))
+            for var, term in outcome.mapping.items()
+        ],
+        "assignments": [
+            (
+                name,
+                [
+                    (arena.encode(k), arena.encode(v))
+                    for k, v in assignment.mapping.items()
+                ],
+                assignment.entry_count,
+                assignment.overapproximated,
+            )
+            for name, assignment in outcome.assignments.items()
+        ],
+        "point_verdicts": outcome.point_verdicts,
+        "table_verdicts": outcome.table_verdicts,
+        "changed_tables": outcome.changed_tables,
+        "changed_points": outcome.changed_points,
+        "affected": sorted(outcome.affected),
+        "sub_mapping": [
+            (arena.encode(var), arena.encode(term))
+            for var, term in piece.substitution._mapping.items()
+        ],
+        "sub_counter": (
+            piece.substitution.counter.hits,
+            piece.substitution.counter.misses,
+            piece.substitution.counter.invalidations,
+        ),
+        "exec_cache": [
+            (arena.encode(term), verdict)
+            for term, verdict in qe._exec_cache.delta.items()
+        ],
+        "solver_results": [
+            (arena.encode(term), result.satisfiable, result.model)
+            for term, result in solver._results.delta.items()
+        ],
+        "exec_counter": (qe.exec_counter.hits, qe.exec_counter.misses),
+        "cache_counter": (solver.cache_counter.hits, solver.cache_counter.misses),
+        "cnf_counter": (solver.cnf_counter.hits, solver.cnf_counter.misses),
+        "learned": learned,
+        "solver_stats": solver.stats,
+        "gate_stats": gate.stats if gate is not None else None,
+        "gate_records": gate.export_record_delta(arena) if gate is not None else [],
+        "terms": arena,
+    }
+
+
+class _RemoteSlice:
+    """Merge adapter for a payload computed in a worker process.
+
+    Presents the same ``merge_into`` / stat-delta surface as
+    :class:`WorkerSlice`, so the scheduler's anchor-order merge loop is
+    executor-agnostic.  Decoding happens here, on the main thread:
+    :meth:`TermArena.decode` re-interns every transported term through
+    the shared factory, so the grafted cache entries are keyed on
+    *identical* objects to what a thread worker would have produced.
+    """
+
+    def __init__(self, payload: dict) -> None:
+        self._payload = payload
+        self.solver_stats_delta: SolverStats = payload["solver_stats"]
+        self.gate_stats_delta: Optional[GateStats] = payload["gate_stats"]
+
+    def merge_into(self, ctx: EngineContext) -> tuple[int, int, int]:
+        payload = self._payload
+        arena = payload["terms"]
+        shared_qe = ctx.query_engine
+        ctx.substitution.set_many(
+            {
+                arena.decode(var): arena.decode(term)
+                for var, term in payload["sub_mapping"]
+            }
+        )
+        hits, misses, invalidations = payload["sub_counter"]
+        ctx.substitution.counter.hit(hits)
+        ctx.substitution.counter.miss(misses)
+        ctx.substitution.counter.invalidate(invalidations)
+        exec_delta = {
+            arena.decode(idx): verdict for idx, verdict in payload["exec_cache"]
+        }
+        result_delta = {
+            arena.decode(idx): SatResult(satisfiable, model)
+            for idx, satisfiable, model in payload["solver_results"]
+        }
+        verdict_entries = len(exec_delta) + len(result_delta)
+        shared_qe._exec_cache.update(exec_delta)
+        shared = shared_qe.solver
+        shared._results.update(result_delta)
+        hits, misses = payload["exec_counter"]
+        shared_qe.exec_counter.hit(hits)
+        shared_qe.exec_counter.miss(misses)
+        hits, misses = payload["cache_counter"]
+        shared.cache_counter.hit(hits)
+        shared.cache_counter.miss(misses)
+        hits, misses = payload["cnf_counter"]
+        shared.cnf_counter.hit(hits)
+        shared.cnf_counter.miss(misses)
+        shared.stats.absorb(payload["solver_stats"])
+        learned = 0
+        if shared.share_encodings and shared.incremental:
+            learned = shared.session.import_exported(payload["learned"])
+        if payload["gate_stats"] is not None and shared_qe.gate is not None:
+            shared_qe.gate.absorb_exported(
+                arena, payload["gate_stats"], payload["gate_records"]
+            )
+        # No memo entries graft in process mode: the substitution memo is
+        # id-keyed per process and repopulates on first use.
+        return 0, verdict_entries, learned
+
+
+def _decode_outcome(group: ConflictGroup, payload: dict) -> GroupOutcome:
+    """Rebuild a :class:`GroupOutcome` from a worker payload (parent side)."""
+    arena = payload["terms"]
+    mapping = {
+        arena.decode(var): arena.decode(term) for var, term in payload["mapping"]
+    }
+    assignments = {
+        name: TableAssignment(
+            table=name,
+            mapping={arena.decode(k): arena.decode(v) for k, v in pairs},
+            entry_count=entry_count,
+            overapproximated=overapproximated,
+        )
+        for name, pairs, entry_count, overapproximated in payload["assignments"]
+    }
+    return GroupOutcome(
+        group=group,
+        slice=_RemoteSlice(payload),
+        mapping=mapping,
+        assignments=assignments,
+        point_verdicts=payload["point_verdicts"],
+        table_verdicts=payload["table_verdicts"],
+        changed_tables=payload["changed_tables"],
+        changed_points=payload["changed_points"],
+        affected=set(payload["affected"]),
+    )
+
+
+def _group_worker(conn, ctx: EngineContext, group: ConflictGroup, piece: WorkerSlice):
+    """Child-process entry point: run one group, pipe the payload back."""
+    try:
+        payload = _encode_outcome(run_group(ctx, group, piece))
+    except BaseException as exc:  # ship the failure; the parent re-raises
+        payload = {
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _run_groups_in_processes(
+    mp_ctx, ctx: EngineContext, groups: list, slices: list, workers: int
+) -> list:
+    """Run each group in a forked worker process, in waves of ``workers``.
+
+    Children are spawned with the fork start method, so ``ctx`` and the
+    pre-built slices cross the boundary as inherited memory (no pickling
+    on the way in); only the result payload is pickled, over a pipe.
+    Payloads are received in submission order and decoded in group order,
+    which keeps the merge exactly as deterministic as the thread pool's.
+    """
+    payloads: list = [None] * len(groups)
+    pairs = list(zip(groups, slices))
+    width = min(workers, len(groups))
+    for start in range(0, len(pairs), width):
+        running = []
+        for group, piece in pairs[start : start + width]:
+            receiver, sender = mp_ctx.Pipe(duplex=False)
+            proc = mp_ctx.Process(
+                target=_group_worker, args=(sender, ctx, group, piece)
+            )
+            proc.start()
+            sender.close()
+            running.append((group, receiver, proc))
+        for group, receiver, proc in running:
+            try:
+                payload = receiver.recv()
+            except EOFError:
+                payload = {"error": "worker exited without sending a result"}
+            receiver.close()
+            proc.join()
+            payloads[group.index] = payload
+    outcomes = []
+    for group, payload in zip(groups, payloads):
+        if "error" in payload:
+            raise RuntimeError(
+                f"batch worker for conflict group {group.index} failed: "
+                f"{payload['error']}\n{payload.get('traceback', '')}"
+            )
+        outcomes.append(_decode_outcome(group, payload))
+    return outcomes
+
+
+def _verify_merge_accounting(
+    merged_solver: SolverStats,
+    worker_solver: SolverStats,
+    merged_gate: Optional[GateStats],
+    worker_gate: Optional[GateStats],
+) -> None:
+    """The double-counting tripwire behind :class:`BatchMerged`.
+
+    Each worker's solver/gate stats start at zero when its slice forks
+    and are absorbed into the shared objects exactly once during the
+    merge, so the shared delta across the merge must equal the sum of
+    the per-worker deltas — field for field.  A mismatch means a merge
+    path absorbed some worker twice (or dropped one) and is a bug.
+    """
+    for name in ("by_simplify", "by_interval", "by_sat", "by_cache", "probes"):
+        merged = getattr(merged_solver, name)
+        summed = getattr(worker_solver, name)
+        if merged != summed:
+            raise AssertionError(
+                f"batch merge miscounted SolverStats.{name}: per-worker "
+                f"deltas sum to {summed}, merged delta is {merged}"
+            )
+    if merged_solver.search != worker_solver.search:
+        raise AssertionError(
+            "batch merge miscounted SAT search stats: per-worker deltas sum "
+            f"to {worker_solver.search}, merged delta is {merged_solver.search}"
+        )
+    if merged_gate is not None and merged_gate != worker_gate:
+        raise AssertionError(
+            "batch merge miscounted GateStats: per-worker deltas sum to "
+            f"{worker_gate}, merged delta is {merged_gate}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Decisions
 # ---------------------------------------------------------------------------
 
@@ -550,9 +885,11 @@ class BatchReport:
     coalesced_count: int  # net updates after coalescing
     group_count: int
     workers: int
-    affected_points: int
-    changed: list  # table names + pids whose verdict changed, group order
-    recompiled: bool
+    executor: str = "thread"  # serial | thread | process
+    affected_points: int = 0
+    # Table names + pids whose verdict changed, in group order.
+    changed: list = field(default_factory=list)
+    recompiled: bool = False
     elapsed_ms: float = 0.0
     compile_report: object = None
     groups: list = field(default_factory=list)  # GroupDecisions
@@ -570,7 +907,8 @@ class BatchReport:
         return (
             f"{action}: batch of {self.update_count} updates "
             f"({self.coalesced_count} after coalescing, "
-            f"{self.group_count} conflict groups, {self.workers} workers), "
+            f"{self.group_count} conflict groups, "
+            f"{self.workers} {self.executor} workers), "
             f"{self.affected_points} points checked, "
             f"{len(self.changed)} changed, {self.elapsed_ms:.1f} ms"
         )
@@ -581,16 +919,25 @@ class BatchReport:
 # ---------------------------------------------------------------------------
 
 
-def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> BatchReport:
+def schedule_batch(
+    ctx: EngineContext,
+    updates: list,
+    workers: int = 1,
+    executor: Optional[str] = None,
+) -> BatchReport:
     """Coalesce, partition, execute, and merge one burst of updates.
 
-    ``workers`` bounds the pool width; with one worker (or one group) the
+    ``workers`` bounds the pool width (0 auto-detects the CPU count);
+    ``executor`` picks the strategy (``serial`` / ``thread`` /
+    ``process``; None resolves through ``FLAY_EXECUTOR`` and then
+    ``ctx.options.executor``).  With one worker (or one group) the
     groups run inline on the calling thread through the same code path,
-    so single- and multi-worker runs are byte-identical by construction.
+    so every executor and pool width is byte-identical by construction.
     """
     start = time.perf_counter()
     updates = list(updates)
-    workers = max(1, int(workers))
+    workers = resolve_workers(workers)
+    executor = resolve_executor(executor, ctx)
     model = ctx.model
     coalesced = coalesce(
         updates,
@@ -605,11 +952,14 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
                 coalesced_count=coalesced.output_count,
                 group_count=len(groups),
                 workers=workers,
+                executor=executor,
             )
         )
 
     # State mutation happens up front, on the calling thread, in anchor
-    # order — workers then only read their own group's tables.
+    # order — workers then only read their own group's tables.  (The
+    # process executor forks *after* this point, so children inherit the
+    # post-mutation state and diagrams.)
     for op in coalesced.ops:
         if isinstance(op.update, ValueSetUpdate):
             ctx.state.apply_value_set_update(op.update)
@@ -617,20 +967,31 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
             ctx.state.apply_update(op.update)
 
     slices = [WorkerSlice(ctx) for _ in groups]
-    if workers == 1 or len(groups) <= 1:
+    if workers == 1 or len(groups) <= 1 or executor == "serial":
         outcomes = [
             run_group(ctx, group, piece) for group, piece in zip(groups, slices)
         ]
     else:
-        with ThreadPoolExecutor(max_workers=min(workers, len(groups))) as pool:
-            futures = [
-                pool.submit(run_group, ctx, group, piece)
-                for group, piece in zip(groups, slices)
-            ]
-            outcomes = [future.result() for future in futures]
+        mp_ctx = _fork_context() if executor == "process" else None
+        if mp_ctx is not None:
+            outcomes = _run_groups_in_processes(mp_ctx, ctx, groups, slices, workers)
+        else:
+            # Thread pool — also the fallback on platforms without fork.
+            with ThreadPoolExecutor(max_workers=min(workers, len(groups))) as pool:
+                futures = [
+                    pool.submit(run_group, ctx, group, piece)
+                    for group, piece in zip(groups, slices)
+                ]
+                outcomes = [future.result() for future in futures]
 
     # Merge, in deterministic group order.
     merge_start = time.perf_counter()
+    shared_solver = ctx.query_engine.solver
+    shared_gate = ctx.query_engine.gate
+    solver_before = shared_solver.stats.snapshot()
+    gate_before = shared_gate.stats.snapshot() if shared_gate is not None else None
+    worker_solver = SolverStats()
+    worker_gate = GateStats() if shared_gate is not None else None
     changed: list = []
     affected: set = set()
     memo_entries = 0
@@ -638,6 +999,10 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
     learned_clauses = 0
     group_decisions: list = []
     for outcome in outcomes:
+        worker_solver.absorb(outcome.slice.solver_stats_delta)
+        gate_delta = outcome.slice.gate_stats_delta
+        if worker_gate is not None and gate_delta is not None:
+            worker_gate.absorb(gate_delta)
         ctx.mapping.update(outcome.mapping)
         ctx.table_assignments.update(outcome.assignments)
         grafted_memo, grafted_verdicts, grafted_learned = outcome.slice.merge_into(ctx)
@@ -659,6 +1024,11 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
                 changed=outcome.changed,
             )
         )
+    merged_solver = shared_solver.stats.since(solver_before)
+    merged_gate = (
+        shared_gate.stats.since(gate_before) if shared_gate is not None else None
+    )
+    _verify_merge_accounting(merged_solver, worker_solver, merged_gate, worker_gate)
     if ctx.bus.active:
         ctx.bus.emit(
             BatchMerged(
@@ -667,6 +1037,14 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
                 merged_verdict_entries=verdict_entries,
                 imported_learned_clauses=learned_clauses,
                 elapsed_ms=(time.perf_counter() - merge_start) * 1000,
+                worker_solver_queries=worker_solver.total,
+                merged_solver_queries=merged_solver.total,
+                worker_gate_screens=(
+                    worker_gate.screened if worker_gate is not None else 0
+                ),
+                merged_gate_screens=(
+                    merged_gate.screened if merged_gate is not None else 0
+                ),
             )
         )
 
@@ -695,6 +1073,7 @@ def schedule_batch(ctx: EngineContext, updates: list, workers: int = 1) -> Batch
         coalesced_count=coalesced.output_count,
         group_count=len(groups),
         workers=workers,
+        executor=executor,
         affected_points=len(affected),
         changed=changed,
         recompiled=bool(changed),
@@ -709,6 +1088,7 @@ __all__ = [
     "CoalesceResult",
     "CoalescedOp",
     "ConflictGroup",
+    "EXECUTORS",
     "GroupDecision",
     "GroupOutcome",
     "LayeredCache",
@@ -717,6 +1097,8 @@ __all__ = [
     "coalesce",
     "conflict_components",
     "partition",
+    "resolve_executor",
+    "resolve_workers",
     "run_group",
     "schedule_batch",
 ]

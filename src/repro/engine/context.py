@@ -46,6 +46,12 @@ class EngineOptions:
     # simplification, and — for residual MAYBEs — the CDCL probe pair.
     # Output is byte-identical either way (``--no-fdd-gate`` ablation).
     fdd_gate: bool = True
+    # Batch executor strategy: "thread" (worker threads over the shared
+    # term factory), "process" (forked worker processes shipping arena
+    # payloads back — escapes the GIL), or "serial" (force inline; the
+    # differential baseline).  Per-call arguments and the FLAY_EXECUTOR
+    # environment variable take precedence over this default.
+    executor: str = "thread"
 
 
 @dataclass

@@ -86,17 +86,42 @@ class BatchScheduled(Event):
     coalesced_count: int  # net updates after coalescing
     group_count: int  # independent conflict groups
     workers: int  # worker-pool width requested
+    executor: str = "thread"  # serial | thread | process
 
 
 @dataclass(frozen=True)
 class BatchMerged(Event):
-    """Worker cache deltas were folded back into the shared context."""
+    """Worker cache deltas were folded back into the shared context.
+
+    The ``worker_*``/``merged_*`` pairs are the merge's double-counting
+    tripwire: per-worker stat deltas are absorbed into the shared
+    solver/gate exactly once each, so the sums must match the shared
+    deltas — the event refuses to construct otherwise.
+    """
 
     group_count: int
     merged_memo_entries: int  # substitution memo entries grafted
     merged_verdict_entries: int  # solver/executability cache entries grafted
     elapsed_ms: float
     imported_learned_clauses: int = 0  # CDCL clauses folded into the session
+    worker_solver_queries: int = 0  # sum of per-worker SolverStats.total
+    merged_solver_queries: int = 0  # shared SolverStats.total delta over the merge
+    worker_gate_screens: int = 0  # sum of per-worker GateStats.screened
+    merged_gate_screens: int = 0  # shared GateStats.screened delta over the merge
+
+    def __post_init__(self) -> None:
+        if self.worker_solver_queries != self.merged_solver_queries:
+            raise ValueError(
+                "batch merge double-counted solver stats: workers sum to "
+                f"{self.worker_solver_queries} queries, merged delta is "
+                f"{self.merged_solver_queries}"
+            )
+        if self.worker_gate_screens != self.merged_gate_screens:
+            raise ValueError(
+                "batch merge double-counted gate stats: workers sum to "
+                f"{self.worker_gate_screens} screens, merged delta is "
+                f"{self.merged_gate_screens}"
+            )
 
 
 @dataclass(frozen=True)

@@ -60,7 +60,7 @@ from typing import Optional
 
 from repro.smt import interval, terms as T
 from repro.smt.simplify import constant_value
-from repro.smt.fdd import TableFdd
+from repro.smt.fdd import FddLeaf, TableFdd
 from repro.smt.sat import SolverBudgetExceeded
 
 # Re-stated here (not imported from queries) to avoid an import cycle.
@@ -616,6 +616,97 @@ class VerdictGate:
                 self._records.set(pid, record)
                 grafted += 1
         return grafted
+
+    # -- process-pool transport -----------------------------------------------
+
+    def export_record_delta(self, arena) -> list:
+        """Picklable ``(pid, record blob)`` pairs from this slice's overlay.
+
+        Witness terms ride in ``arena``
+        (a :class:`~repro.smt.arena.TermArena`); FDD leaves are flattened
+        to their ``(action, args)`` intern key and re-interned on import.
+        Re-interning matters: fingerprint comparison is identity-based,
+        and each diagram's leaf intern table survives rebuilds, so the
+        re-interned leaf is the *same object* a local screen would see.
+        """
+        exported: list = []
+        for pid, record in self._records.delta.items():
+            if record is None:
+                exported.append((pid, None))
+                continue
+            exported.append(
+                (
+                    pid,
+                    {
+                        "verdict": record.verdict,
+                        "term": arena.encode(record.term),
+                        "pos_model": dict(record.pos_model),
+                        "neg_model": dict(record.neg_model),
+                        "pos_keys": record.pos_keys,
+                        "neg_keys": record.neg_keys,
+                        "fp_pos": _flatten_fingerprint(record.fp_pos),
+                        "fp_neg": _flatten_fingerprint(record.fp_neg),
+                    },
+                )
+            )
+        return exported
+
+    def absorb_exported(self, arena, stats: GateStats, records: list) -> int:
+        """Process-mode :meth:`absorb_fork`: fold a worker's shipped delta.
+
+        ``stats`` is absorbed exactly once (the double-counting tripwire
+        in the batch merge checks this); record blobs are decoded through
+        the shared term factory and this gate's own diagrams.
+        """
+        self.stats.absorb(stats)
+        grafted = 0
+        for pid, blob in records:
+            if blob is None:
+                self._records.drop(pid)
+                continue
+            self._records.set(
+                pid,
+                WitnessRecord(
+                    verdict=blob["verdict"],
+                    term=arena.decode(blob["term"]),
+                    pos_model=_ZeroDefault(blob["pos_model"]),
+                    neg_model=_ZeroDefault(blob["neg_model"]),
+                    pos_keys=blob["pos_keys"],
+                    neg_keys=blob["neg_keys"],
+                    fp_pos=self._intern_fingerprint(pid, blob["fp_pos"]),
+                    fp_neg=self._intern_fingerprint(pid, blob["fp_neg"]),
+                ),
+            )
+            grafted += 1
+        return grafted
+
+    def _intern_fingerprint(self, pid: str, flattened: tuple) -> tuple:
+        """Rebuild a fingerprint, re-interning leaves per dependency table.
+
+        Fingerprint components are positional: the first
+        ``len(dep_tables)`` entries belong to the point's dependency
+        tables in sorted order (leaf or overapprox marker), the rest are
+        value-set tuples — so a leaf at position ``i`` re-interns into
+        ``dep_tables[i]``'s diagram.
+        """
+        dep_tables, _ = self._deps[pid]
+        components: list = []
+        for position, (tag, payload) in enumerate(flattened):
+            if tag == "leaf":
+                action, args = payload
+                fdd = self.state.tables[dep_tables[position]].fdd
+                components.append(fdd.leaf(action, args))
+            else:
+                components.append(payload)
+        return tuple(components)
+
+
+def _flatten_fingerprint(fp: tuple) -> tuple:
+    """A fingerprint with every (unpicklable-by-identity) leaf flattened."""
+    return tuple(
+        ("leaf", (c.action, c.args)) if isinstance(c, FddLeaf) else ("raw", c)
+        for c in fp
+    )
 
 
 __all__ = [

@@ -10,9 +10,13 @@ Public surface:
 * :mod:`repro.smt.cnf` / :mod:`repro.smt.sat` — bit-blasting and
   incremental CDCL (assumptions, clause learning, restarts),
 * :mod:`repro.smt.session` — persistent assumption-probing solver session,
-* :mod:`repro.smt.solver` — the layered QF_BV decision facade.
+* :mod:`repro.smt.solver` — the layered QF_BV decision facade,
+* :mod:`repro.smt.arena` — flat-array term/clause arenas (picklable
+  transport for the process-pool batch executor, and the storage behind
+  the CDCL core's clause database).
 """
 
+from repro.smt.arena import ClauseArena, TermArena
 from repro.smt.sat import SatStats, SolverBudgetExceeded
 from repro.smt.session import SolverSession
 from repro.smt.simplify import simplify

@@ -9,6 +9,7 @@ use a barrel shifter — everything a P4 program's expressions can contain.
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional
 
 from repro.ir.metrics import CacheCounter
@@ -290,14 +291,35 @@ class BitBlaster:
 
 
 class _Fragment:
-    """The Tseitin cone of one term: its own gate clauses + child cones."""
+    """The Tseitin cone of one term: its own gate clauses + child cones.
 
-    __slots__ = ("clauses", "children", "out")
+    Clause literals live in one flat ``array('i')`` with prefix end
+    offsets instead of a list of lists: fragments are written once during
+    encoding and then shared read-only across every encoder fork and
+    session, so the compact layout cuts per-clause object overhead and
+    keeps cone streaming cache-friendly (and cheaply picklable).
+    """
+
+    __slots__ = ("_lits", "_ends", "children", "out")
 
     def __init__(self) -> None:
-        self.clauses: list[list[int]] = []
+        self._lits = array("i")
+        self._ends = array("q")  # end offset of each clause in _lits
         self.children: list["_Fragment"] = []
         self.out = None  # literal (bool terms) or literal vector (bv terms)
+
+    def append_clause(self, clause: list[int]) -> None:
+        self._lits.extend(clause)
+        self._ends.append(len(self._lits))
+
+    @property
+    def clauses(self):
+        """The fragment's clauses, yielded as literal lists."""
+        lits = self._lits
+        start = 0
+        for end in self._ends:
+            yield lits[start:end].tolist()
+            start = end
 
 
 class _FragmentSink:
@@ -358,7 +380,7 @@ class FragmentBitBlaster(BitBlaster):
 
     def _record(self, clause: list[int]) -> None:
         if self._stack:
-            self._stack[-1].clauses.append(clause)
+            self._stack[-1].append_clause(clause)
         else:
             self._preamble.append(clause)
 

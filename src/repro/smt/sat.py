@@ -22,6 +22,14 @@ Variables are positive integers; literals are non-zero integers where a
 negative literal is the negation of its absolute value — the DIMACS
 convention, unchanged from the DPLL this module used to hold.
 
+The clause database lives in a :class:`~repro.smt.arena.ClauseArena`:
+clauses are integer references (*crefs*) into one flat literal buffer,
+watch lists are lists of crefs, and the propagation loop walks
+contiguous ``array('i')`` storage instead of per-clause objects.  That
+makes :meth:`SatSolver.fork` a handful of array copies, and
+:meth:`SatSolver.snapshot` a picklable blob — the enabler for the batch
+scheduler's process-pool executor and for warm-state persistence.
+
 The search budget is counted in **conflicts**, not decisions: CDCL makes
 decisions nearly free (a heap pop plus propagation) while each conflict
 pays for analysis and a learned clause, so conflicts are the honest unit
@@ -36,10 +44,13 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.smt.arena import ClauseArena
+
 SAT = "sat"
 UNSAT = "unsat"
 
 _RESCALE_LIMIT = 1e100
+_NO_REASON = -1
 
 
 class SolverBudgetExceeded(RuntimeError):
@@ -90,15 +101,6 @@ class SatStats:
         self.restarts += other.restarts
 
 
-class Clause:
-    __slots__ = ("lits", "learned", "activity")
-
-    def __init__(self, lits: Sequence[int], learned: bool = False) -> None:
-        self.lits = list(lits)
-        self.learned = learned
-        self.activity = 0.0
-
-
 def luby(i: int) -> int:
     """The i-th term (1-based) of the Luby restart sequence (1,1,2,1,1,2,4,…)."""
     size, seq = 1, 0
@@ -114,14 +116,15 @@ def luby(i: int) -> int:
 
 
 class SatSolver:
-    """Incremental CDCL over a persistent clause database."""
+    """Incremental CDCL over a persistent arena-backed clause database."""
 
     RESTART_BASE = 64  # conflicts before the first Luby restart
 
     def __init__(self) -> None:
         self.stats = SatStats()
-        self._clauses: list[Clause] = []
-        self._learned: list[Clause] = []
+        self._arena = ClauseArena()
+        self._clauses: list[int] = []  # problem-clause crefs
+        self._learned: list[int] = []  # learned-clause crefs
         self._num_vars = 0
         self._ok = True  # False once the database is unconditionally UNSAT
         self._model: Optional[dict[int, bool]] = None
@@ -131,17 +134,17 @@ class SatSolver:
         # Per-variable state, index 0 unused.
         self._assign: list[Optional[bool]] = [None]
         self._level: list[int] = [0]
-        self._reason: list[Optional[Clause]] = [None]
+        self._reason: list[int] = [_NO_REASON]  # cref, or _NO_REASON
         self._activity: list[float] = [0.0]
         self._phase: list[bool] = [False]  # saved polarity; default False
         # Trail.
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
-        # Two-watched-literal scheme: watches[lit] holds the clauses
-        # currently watching ``lit``; they are visited when ``lit``
-        # becomes false.
-        self._watches: dict[int, list[Clause]] = {}
+        # Two-watched-literal scheme: watches[lit] holds the crefs of the
+        # clauses currently watching ``lit``; they are visited when
+        # ``lit`` becomes false.
+        self._watches: dict[int, list[int]] = {}
         # EVSIDS decision heap (max-heap via negated activity, with stale
         # entries skipped lazily on pop).
         self._heap: list[tuple[float, int]] = []
@@ -153,6 +156,11 @@ class SatSolver:
         # True while a decide_vars-scoped solve runs: scoped probes never
         # consult the decision heap, so backtracking skips the heap pushes.
         self._scoped = False
+        # Dead-literal bookkeeping for arena compaction.  Forked solvers
+        # never compact: a session fork marks inherited learned clauses by
+        # cref, and compaction would renumber them.
+        self._dead_lits = 0
+        self._compactable = True
         self._var_inc = 1.0
         self._var_decay = 1.0 / 0.95
         self._cla_inc = 1.0
@@ -166,7 +174,7 @@ class SatSolver:
         self._num_vars += 1
         self._assign.append(None)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(_NO_REASON)
         self._activity.append(0.0)
         self._phase.append(False)
         return self._num_vars
@@ -227,15 +235,17 @@ class SatSolver:
             if not self._assert_root(reduced[0]):
                 self._ok = False
             return
-        self._attach(Clause(reduced))
+        self._attach(self._arena.add(reduced))
 
-    def _attach(self, clause: Clause) -> None:
-        for lit in clause.lits[:2]:
-            self._watches.setdefault(lit, []).append(clause)
-        if clause.learned:
-            self._learned.append(clause)
+    def _attach(self, cref: int) -> None:
+        arena = self._arena
+        base = arena.start[cref]
+        for lit in (arena.lits[base], arena.lits[base + 1]):
+            self._watches.setdefault(lit, []).append(cref)
+        if arena.learned[cref]:
+            self._learned.append(cref)
         else:
-            self._clauses.append(clause)
+            self._clauses.append(cref)
 
     def _assert_root(self, lit: int) -> bool:
         """Enqueue a root-level fact and propagate; False on conflict."""
@@ -243,8 +253,8 @@ class SatSolver:
         if val is False:
             return False
         if val is None:
-            self._enqueue(lit, None)
-        return self._propagate() is None
+            self._enqueue(lit, _NO_REASON)
+        return self._propagate() == _NO_REASON
 
     # -- assignment primitives -------------------------------------------------
 
@@ -254,7 +264,7 @@ class SatSolver:
             return None
         return val if lit > 0 else not val
 
-    def _enqueue(self, lit: int, reason: Optional[Clause]) -> None:
+    def _enqueue(self, lit: int, reason: int) -> None:
         var = abs(lit)
         self._assign[var] = lit > 0
         self._level[var] = len(self._trail_lim)
@@ -277,7 +287,7 @@ class SatSolver:
             var = lit if lit > 0 else -lit
             phase[var] = lit > 0
             assign[var] = None
-            reason[var] = None
+            reason[var] = _NO_REASON
             if not scoped:
                 heapq.heappush(heap, (-activity[var], var))
         del self._trail[mark:]
@@ -287,19 +297,24 @@ class SatSolver:
 
     # -- propagation -----------------------------------------------------------
 
-    def _propagate(self) -> Optional[Clause]:
-        """Unit propagation; returns the conflicting clause, or None.
+    def _propagate(self) -> int:
+        """Unit propagation; returns the conflicting cref, or _NO_REASON.
 
-        The watch-repair loop is inlined with local bindings — this is the
-        solver's innermost loop, and per-probe latency in the session's
-        warm path is dominated by it.
+        The watch-repair loop is inlined with local bindings and walks the
+        arena's flat literal buffer — this is the solver's innermost loop,
+        and per-probe latency in the session's warm path is dominated by
+        it.
         """
         trail = self._trail
         assign = self._assign
         watches = self._watches
+        arena = self._arena
+        alits = arena.lits
+        astart = arena.start
+        asize = arena.size
         trail_lim_len = len(self._trail_lim)
         propagated = 0
-        conflict: Optional[Clause] = None
+        conflict = _NO_REASON
         while self._qhead < len(trail):
             lit = trail[self._qhead]
             self._qhead += 1
@@ -308,42 +323,43 @@ class SatSolver:
             watching = watches.get(falsified)
             if not watching:
                 continue
-            kept: list[Clause] = []
-            for index, clause in enumerate(watching):
-                lits = clause.lits
-                if lits[0] == falsified:
-                    lits[0], lits[1] = lits[1], lits[0]
-                other = lits[0]
+            kept: list[int] = []
+            for index, cref in enumerate(watching):
+                base = astart[cref]
+                if alits[base] == falsified:
+                    alits[base], alits[base + 1] = alits[base + 1], alits[base]
+                other = alits[base]
                 ovar = other if other > 0 else -other
                 oval = assign[ovar]
                 if oval is not None and oval == (other > 0):
-                    kept.append(clause)  # satisfied: keep the watch
+                    kept.append(cref)  # satisfied: keep the watch
                     continue
-                for i in range(2, len(lits)):
-                    wlit = lits[i]
+                end = base + asize[cref]
+                for i in range(base + 2, end):
+                    wlit = alits[i]
                     wval = assign[wlit if wlit > 0 else -wlit]
                     if wval is None or wval == (wlit > 0):
-                        lits[1], lits[i] = lits[i], lits[1]
+                        alits[base + 1], alits[i] = alits[i], alits[base + 1]
                         watchers = watches.get(wlit)
                         if watchers is None:
-                            watches[wlit] = [clause]
+                            watches[wlit] = [cref]
                         else:
-                            watchers.append(clause)
+                            watchers.append(cref)
                         break
                 else:
                     # No replacement: unit on `other`, or conflicting.
-                    kept.append(clause)
+                    kept.append(cref)
                     if oval is None:
                         assign[ovar] = other > 0
                         self._level[ovar] = trail_lim_len
-                        self._reason[ovar] = clause
+                        self._reason[ovar] = cref
                         trail.append(other)
                     else:
                         kept.extend(watching[index + 1 :])
-                        conflict = clause
+                        conflict = cref
                         break
             watches[falsified] = kept
-            if conflict is not None:
+            if conflict != _NO_REASON:
                 self._qhead = len(trail)
                 break
         self.stats.propagations += propagated
@@ -362,11 +378,12 @@ class SatSolver:
         if self._assign[var] is None:
             heapq.heappush(self._heap, (-act, var))
 
-    def _bump_clause(self, clause: Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > _RESCALE_LIMIT:
+    def _bump_clause(self, cref: int) -> None:
+        activity = self._arena.activity
+        activity[cref] += self._cla_inc
+        if activity[cref] > _RESCALE_LIMIT:
             for c in self._learned:
-                c.activity *= 1e-100
+                activity[c] *= 1e-100
             self._cla_inc *= 1e-100
 
     def _pick_branch(self) -> Optional[int]:
@@ -387,7 +404,12 @@ class SatSolver:
 
     # -- conflict analysis -----------------------------------------------------
 
-    def _analyze(self, conflict: Clause) -> tuple[list[int], int]:
+    def _clause_lits(self, cref: int) -> list[int]:
+        arena = self._arena
+        base = arena.start[cref]
+        return arena.lits[base:base + arena.size[cref]].tolist()
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP analysis: (learned clause, backjump level).
 
         The learned clause's first literal is the asserting literal (the
@@ -398,7 +420,7 @@ class SatSolver:
         seen: set[int] = set()
         counter = 0  # unresolved literals at the current decision level
         current = self._decision_level()
-        reason_lits = conflict.lits
+        reason_lits: Optional[list[int]] = self._clause_lits(conflict)
         skip: Optional[int] = None  # the literal already resolved on
         index = len(self._trail)
         while True:
@@ -429,9 +451,13 @@ class SatSolver:
                 learned[0] = -uip
                 break
             antecedent = self._reason[var]
-            if antecedent is not None and antecedent.learned:
+            if antecedent != _NO_REASON and self._arena.learned[antecedent]:
                 self._bump_clause(antecedent)
-            reason_lits = antecedent.lits if antecedent is not None else None
+            reason_lits = (
+                self._clause_lits(antecedent)
+                if antecedent != _NO_REASON
+                else None
+            )
             skip = uip
         # Cheap self-subsumption: drop literals whose reason is fully marked.
         learned = self._minimize(learned, seen_roots=set(abs(l) for l in learned))
@@ -448,14 +474,19 @@ class SatSolver:
     def _minimize(self, learned: list[int], seen_roots: set[int]) -> list[int]:
         """Drop a literal when its whole reason is already in the clause."""
         kept = [learned[0]]
+        arena = self._arena
+        alits, astart, asize = arena.lits, arena.start, arena.size
         for lit in learned[1:]:
             reason = self._reason[abs(lit)]
-            if reason is None:
+            if reason == _NO_REASON:
                 kept.append(lit)
                 continue
+            base = astart[reason]
             if all(
-                other == -lit or abs(other) in seen_roots or self._level[abs(other)] == 0
-                for other in reason.lits
+                other == -lit
+                or abs(other) in seen_roots
+                or self._level[abs(other)] == 0
+                for other in alits[base:base + asize[reason]]
             ):
                 continue  # implied by the rest of the clause
             kept.append(lit)
@@ -464,33 +495,67 @@ class SatSolver:
     def _record_learned(self, lits: list[int]) -> None:
         self.stats.learned += 1
         if len(lits) == 1:
-            self._enqueue(lits[0], None)
+            self._enqueue(lits[0], _NO_REASON)
             return
-        clause = Clause(lits, learned=True)
-        clause.activity = self._cla_inc
-        self._attach(clause)
-        self._enqueue(lits[0], clause)
+        cref = self._arena.add(lits, learned=True)
+        self._arena.activity[cref] = self._cla_inc
+        self._attach(cref)
+        self._enqueue(lits[0], cref)
 
     def _reduce_db(self) -> None:
         """Halve the learned set, keeping active and locked clauses."""
-        locked = {id(reason) for reason in self._reason if reason is not None}
-        self._learned.sort(key=lambda c: c.activity)
+        arena = self._arena
+        activity = arena.activity
+        locked = {r for r in self._reason if r != _NO_REASON}
+        self._learned.sort(key=activity.__getitem__)
         keep_from = len(self._learned) // 2
         threshold = self._cla_inc / max(1, len(self._learned))
-        survivors: list[Clause] = []
+        survivors: list[int] = []
         removed: set[int] = set()
-        for i, clause in enumerate(self._learned):
-            useful = i >= keep_from or clause.activity > threshold
-            if len(clause.lits) <= 2 or id(clause) in locked or useful:
-                survivors.append(clause)
+        for i, cref in enumerate(self._learned):
+            useful = i >= keep_from or activity[cref] > threshold
+            if arena.size[cref] <= 2 or cref in locked or useful:
+                survivors.append(cref)
             else:
-                removed.add(id(clause))
+                removed.add(cref)
         if not removed:
             return
         self.stats.deleted += len(removed)
         self._learned = survivors
+        for cref in removed:
+            arena.dead[cref] = 1
+            self._dead_lits += arena.size[cref]
         for lit, watching in self._watches.items():
-            self._watches[lit] = [c for c in watching if id(c) not in removed]
+            self._watches[lit] = [c for c in watching if c not in removed]
+
+    def _compact(self) -> None:
+        """Rebuild the arena without dead rows, renumbering every cref.
+
+        Only ever called between solves, at decision level 0, and never on
+        a forked solver (a session fork pins inherited learned clauses by
+        cref — see :meth:`fork`).
+        """
+        arena = self._arena
+        fresh = ClauseArena()
+        remap: dict[int, int] = {}
+        for group in (self._clauses, self._learned):
+            for cref in group:
+                new = fresh.add(
+                    self._clause_lits(cref), learned=bool(arena.learned[cref])
+                )
+                fresh.activity[new] = arena.activity[cref]
+                remap[cref] = new
+        self._arena = fresh
+        self._clauses = [remap[c] for c in self._clauses]
+        self._learned = [remap[c] for c in self._learned]
+        self._watches = {
+            lit: [remap[c] for c in watching]
+            for lit, watching in self._watches.items()
+        }
+        self._reason = [
+            remap[r] if r != _NO_REASON else _NO_REASON for r in self._reason
+        ]
+        self._dead_lits = 0
 
     # -- the solve loop --------------------------------------------------------
 
@@ -535,7 +600,13 @@ class SatSolver:
         if not self._ok:
             return UNSAT
         self._backtrack(0)
-        if self._propagate() is not None:
+        if (
+            self._compactable
+            and self._dead_lits * 2 > len(self._arena.lits)
+            and self._dead_lits > 4096
+        ):
+            self._compact()
+        if self._propagate() != _NO_REASON:
             self._ok = False
             return UNSAT
         try:
@@ -559,7 +630,7 @@ class SatSolver:
         decide_idx = 0  # scan position in decide_vars; reset on backtrack
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != _NO_REASON:
                 self.stats.conflicts += 1
                 conflicts_this_call += 1
                 conflicts_since_restart += 1
@@ -609,7 +680,7 @@ class SatSolver:
                 return UNSAT
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            self._enqueue(lit, None)
+            self._enqueue(lit, _NO_REASON)
 
     def _next_decision(self, assumptions: list[int]):
         """Next decision literal: pending assumptions first, then VSIDS."""
@@ -657,9 +728,11 @@ class SatSolver:
         deeper assumption levels still hold facts the clause relies on."""
         return 0
 
-    def _conflict_at_root(self, conflict: Clause, assumptions: list[int]) -> bool:
+    def _conflict_at_root(self, conflict: int, assumptions: list[int]) -> bool:
         """True when the conflict holds independently of the assumptions."""
-        return all(self._level[abs(lit)] == 0 for lit in conflict.lits)
+        return all(
+            self._level[abs(lit)] == 0 for lit in self._clause_lits(conflict)
+        )
 
     def model(self) -> Optional[dict[int, bool]]:
         """Variable assignment from the last ``SAT`` answer.
@@ -689,34 +762,104 @@ class SatSolver:
 
         The fork starts with the same problem and learned clauses, variable
         activities, and saved phases; budgets and statistics start fresh.
-        Used by the batch scheduler to hand each worker slice a warm
-        private solver.
+        Crefs are preserved (the arena is copied wholesale), so a session
+        can mark the inherited learned clauses by cref — which is also why
+        forks never compact their arena.  Used by the batch scheduler to
+        hand each worker slice a warm private solver.
         """
         self._backtrack(0)
         twin = SatSolver()
+        twin._arena = self._arena.copy()
+        twin._clauses = list(self._clauses)
+        twin._learned = list(self._learned)
         twin._num_vars = self._num_vars
         twin._ok = self._ok
         twin._assign = list(self._assign)
         twin._level = list(self._level)
-        twin._reason = [None] * len(self._reason)
+        twin._reason = [_NO_REASON] * len(self._reason)
         twin._activity = list(self._activity)
         twin._phase = list(self._phase)
         twin._trail = list(self._trail)
         twin._qhead = len(twin._trail)
+        twin._dead_lits = self._dead_lits
+        twin._compactable = False
         twin._var_inc = self._var_inc
         twin._cla_inc = self._cla_inc
         twin._max_learnts = self._max_learnts
-        for clause in self._clauses:
-            twin._attach(Clause(clause.lits))
-        for clause in self._learned:
-            copy = Clause(clause.lits, learned=True)
-            copy.activity = clause.activity
-            twin._attach(copy)
+        twin._rebuild_watches()
+        return twin
+
+    def _rebuild_watches(self) -> None:
+        """Watch the first two literals of every live clause, in database
+        order — the deterministic layout a freshly-loaded solver has."""
+        watches: dict[int, list[int]] = {}
+        arena = self._arena
+        alits, astart = arena.lits, arena.start
+        for group in (self._clauses, self._learned):
+            for cref in group:
+                base = astart[cref]
+                for lit in (alits[base], alits[base + 1]):
+                    bucket = watches.get(lit)
+                    if bucket is None:
+                        watches[lit] = [cref]
+                    else:
+                        bucket.append(cref)
+        self._watches = watches
+
+    # -- snapshot / restore (process-pool transport, warm persistence) ---------
+
+    def snapshot(self) -> dict:
+        """A picklable blob of the full solver state, at decision level 0.
+
+        Everything semantic is captured: the clause arena, variable
+        assignments/levels (the root trail), activities, phases, and the
+        EVSIDS/learnt-size parameters.  Watches and the decision heap are
+        derived state and are rebuilt on :meth:`restore`.
+        """
+        self._backtrack(0)
+        return {
+            "arena": self._arena.copy(),
+            "clauses": list(self._clauses),
+            "learned": list(self._learned),
+            "num_vars": self._num_vars,
+            "ok": self._ok,
+            "assign": list(self._assign),
+            "level": list(self._level),
+            "activity": list(self._activity),
+            "phase": list(self._phase),
+            "trail": list(self._trail),
+            "dead_lits": self._dead_lits,
+            "var_inc": self._var_inc,
+            "cla_inc": self._cla_inc,
+            "max_learnts": self._max_learnts,
+        }
+
+    @classmethod
+    def restore(cls, blob: dict) -> "SatSolver":
+        """Rebuild a solver from a :meth:`snapshot` blob."""
+        twin = cls()
+        twin._arena = blob["arena"].copy()
+        twin._clauses = list(blob["clauses"])
+        twin._learned = list(blob["learned"])
+        twin._num_vars = blob["num_vars"]
+        twin._ok = blob["ok"]
+        twin._assign = list(blob["assign"])
+        twin._level = list(blob["level"])
+        twin._reason = [_NO_REASON] * len(twin._assign)
+        twin._activity = list(blob["activity"])
+        twin._phase = list(blob["phase"])
+        twin._trail = list(blob["trail"])
+        twin._qhead = len(twin._trail)
+        twin._dead_lits = blob["dead_lits"]
+        twin._var_inc = blob["var_inc"]
+        twin._cla_inc = blob["cla_inc"]
+        twin._max_learnts = blob["max_learnts"]
+        twin._rebuild_watches()
         return twin
 
     def learned_clauses(self) -> list[list[int]]:
         """Snapshots of the current learned clauses (for session export)."""
-        return [list(clause.lits) for clause in self._learned]
+        return [self._clause_lits(cref) for cref in self._learned]
 
     def import_learned(self, clauses: Iterable[Sequence[int]]) -> int:
         """Install externally learned clauses (logical consequences only).
@@ -754,8 +897,7 @@ class SatSolver:
                     self._ok = False
                 count += 1
                 continue
-            clause = Clause(reduced, learned=True)
-            self._attach(clause)
+            self._attach(self._arena.add(reduced, learned=True))
             self.stats.learned += 1
             count += 1
         return count

@@ -57,10 +57,13 @@ class SolverSession:
         # of a probe — everything outside it is definitional and gets
         # evaluated, not searched.
         self._cone_vars: dict[Term, list[int]] = {}
-        # Fork bookkeeping (None on a root session).
+        # Fork bookkeeping (None on a root session).  Inherited learned
+        # clauses are marked by cref: the fork copies the parent's clause
+        # arena wholesale, so everything below the mark existed pre-fork
+        # (and forked solvers never compact, so crefs stay stable).
         self._forked_from: Optional[int] = None
         self._fork_var_mark = 0
-        self._inherited_ids: frozenset = frozenset()
+        self._inherited_cref_mark = 0
 
     # -- loading ---------------------------------------------------------------
 
@@ -210,7 +213,7 @@ class SolverSession:
         twin._cone_vars = dict(self._cone_vars)
         twin._forked_from = id(self)
         twin._fork_var_mark = twin.sat.num_vars
-        twin._inherited_ids = frozenset(id(c) for c in twin.sat._learned)
+        twin._inherited_cref_mark = len(twin.sat._arena)
         return twin
 
     def export_learned(self) -> list[list[int]]:
@@ -221,16 +224,101 @@ class SolverSession:
         (cone definitions, activation guards) is a conservative extension,
         so the clause is a consequence of the parent's own database.
         """
-        mark = self._fork_var_mark
-        return [
-            list(clause.lits)
-            for clause in self.sat._learned
-            if id(clause) not in self._inherited_ids
-            and all(-mark <= lit <= mark for lit in clause.lits)
-        ]
+        vmark = self._fork_var_mark
+        cmark = self._inherited_cref_mark
+        exported = []
+        for cref in self.sat._learned:
+            if cref < cmark:
+                continue  # inherited from the parent at fork time
+            lits = self.sat._clause_lits(cref)
+            if all(-vmark <= lit <= vmark for lit in lits):
+                exported.append(lits)
+        return exported
 
     def absorb(self, fork: "SolverSession") -> int:
         """Fold a fork's exported learned clauses back; returns the count."""
         if fork._forked_from != id(self):
             return 0
         return self.sat.import_learned(fork.export_learned())
+
+    def import_exported(self, clauses: list) -> int:
+        """Install clause lists a fork exported in *another process*.
+
+        The identity handshake :meth:`absorb` performs is meaningless
+        across a process boundary (the fork object never crosses it), so
+        the process-pool merge path sends :meth:`export_learned`'s plain
+        literal lists and folds them in here.  Soundness is the same
+        argument as :meth:`absorb`: exported clauses range over pre-fork
+        variables only, so they are consequences of this very database.
+        """
+        return self.sat.import_learned(clauses)
+
+    # -- snapshot / restore (picklable warm state) -----------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable blob of the warm session state.
+
+        Contains the SAT core snapshot plus the session's bookkeeping;
+        Term-keyed tables (activation literals, cone scopes) ride in a
+        :class:`~repro.smt.arena.TermArena`, since terms themselves refuse
+        to pickle.  Restore against the *same* encoder (or a fork of it,
+        or a process-image copy) with :meth:`restore`.
+        """
+        from repro.smt.arena import TermArena
+
+        arena = TermArena()
+        return {
+            "sat": self.sat.snapshot(),
+            "local": dict(self._local),
+            "preamble_loaded": self._preamble_loaded,
+            "terms": arena,
+            "activations": [
+                (arena.encode(term), act)
+                for term, act in self._activations.items()
+            ],
+            "cone_vars": [
+                (arena.encode(term), list(cone))
+                for term, cone in self._cone_vars.items()
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls, encoder: FragmentBitBlaster, blob: dict
+    ) -> "SolverSession":
+        """Rebuild a warm session from a :meth:`snapshot` blob.
+
+        ``encoder`` must present the same fragment graph the snapshotted
+        session was built against (the identical object, a fork sharing
+        its fragments, or the deterministic re-encoding of the same
+        program): the loaded-fragment set is reconstructed by walking the
+        cones of every restored activation term.
+        """
+        arena = blob["terms"]
+        twin = cls(encoder, solver=SatSolver.restore(blob["sat"]))
+        twin._local = dict(blob["local"])
+        twin._preamble_loaded = blob["preamble_loaded"]
+        twin._activations = {
+            arena.decode(idx): act for idx, act in blob["activations"]
+        }
+        twin._cone_vars = {
+            arena.decode(idx): list(cone) for idx, cone in blob["cone_vars"]
+        }
+        # Re-derive the loaded-fragment set: everything reachable from an
+        # activation term's cone was streamed in before the snapshot.
+        for term in twin._activations:
+            frag = (
+                encoder._bool_frags.get(term)
+                if term.is_bool
+                else encoder._bv_frags.get(term)
+            )
+            if frag is None:
+                continue
+            stack = [frag]
+            while stack:
+                node = stack.pop()
+                if id(node) in twin._loaded:
+                    continue
+                twin._loaded.add(id(node))
+                stack.extend(node.children)
+        return twin

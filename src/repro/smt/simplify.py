@@ -9,6 +9,11 @@ The pass is a bottom-up rewriter with memoization over the hash-consed DAG.
 It implements the three preprocessing steps the paper names (§4.1
 "Processing updates quickly"): constant folding, common-subexpression
 elimination (free, via hash-consing), and strength reduction.
+
+:meth:`repro.smt.arena.TermArena.simplify` mirrors this rule set over the
+flat-array term representation; any rule added here must be added there
+too (``decode(arena.simplify(i)) is simplify(decode(i))`` is a tested
+invariant — see ``tests/smt/test_arena.py``).
 """
 
 from __future__ import annotations

@@ -24,6 +24,14 @@ this; ``tests/smt/test_interning.py`` is the regression test.  Caches keyed
 directly on :class:`Term` objects (hash is precomputed, equality short-cuts
 on identity) additionally hold their own strong references and are safe
 even for terms from short-lived private factories.
+
+Because identity *is* the cache key, terms deliberately refuse to pickle
+(see :meth:`Term.__reduce__`): a pickled copy in another process would be
+a distinct object and silently miss every memo.  The supported way to
+move terms across a process boundary is :class:`repro.smt.arena.TermArena`
+— encode to integer indices, ship the arena, and decode *through the
+default factory* on the other side, which re-interns every node and
+restores the identity invariant.
 """
 
 from __future__ import annotations
@@ -126,9 +134,14 @@ class Term:
     def __repr__(self) -> str:
         return f"Term({to_string(self)})"
 
-    # The DAG can be deep; avoid accidental recursion in pickling etc.
+    # Identity is the cache key: a pickled copy would alias nothing and
+    # silently miss every id()-keyed memo.  Ship a TermArena instead and
+    # decode through the default factory (repro.smt.arena).
     def __reduce__(self):
-        raise TypeError("terms are not picklable; rebuild them in-process")
+        raise TypeError(
+            "terms are not picklable; encode through repro.smt.arena."
+            "TermArena and decode on the other side"
+        )
 
 
 # Operator tags.  Leaves:

@@ -160,12 +160,87 @@ class TestEvents:
         log = bus.attach_log()
         flay = Flay(parse_program(SOURCE), FlayOptions(target="none"), bus=bus)
         batch = two_group_batch(flay)
-        flay.apply_batch(batch, workers=4)
+        flay.apply_batch(batch, workers=4, executor="thread")
         (scheduled,) = log.of_type(BatchScheduled)
         assert scheduled.update_count == len(batch)
         assert scheduled.coalesced_count == len(batch)  # pure inserts
         assert scheduled.group_count == 2
         assert scheduled.workers == 4
+        assert scheduled.executor == "thread"
         (merged,) = log.of_type(BatchMerged)
         assert merged.group_count == 2
         assert merged.merged_memo_entries > 0
+
+    def test_process_mode_skips_memo_transport(self):
+        """The id()-keyed substitution memo delta deliberately stays home
+        in process mode (child object ids are meaningless in the parent);
+        the event records 0 grafted entries and output is unaffected."""
+        bus = EventBus()
+        log = bus.attach_log()
+        flay = Flay(parse_program(SOURCE), FlayOptions(target="none"), bus=bus)
+        batch = two_group_batch(flay)
+        flay.apply_batch(batch, workers=4, executor="process")
+        (scheduled,) = log.of_type(BatchScheduled)
+        assert scheduled.executor == "process"
+        (merged,) = log.of_type(BatchMerged)
+        assert merged.group_count == 2
+        assert merged.merged_memo_entries == 0
+
+
+class TestMergeAccounting:
+    """The double-counting tripwire: per-worker solver/gate stat deltas are
+    absorbed into the shared stats exactly once each, so the per-worker
+    sums must equal the shared delta over the merge — off by even one
+    means a slice was absorbed twice (or dropped)."""
+
+    def test_event_rejects_solver_double_count(self):
+        with pytest.raises(ValueError, match="double-counted solver"):
+            BatchMerged(
+                group_count=2,
+                merged_memo_entries=0,
+                merged_verdict_entries=0,
+                elapsed_ms=1.0,
+                worker_solver_queries=7,
+                merged_solver_queries=14,  # a slice absorbed twice
+            )
+
+    def test_event_rejects_gate_double_count(self):
+        with pytest.raises(ValueError, match="double-counted gate"):
+            BatchMerged(
+                group_count=2,
+                merged_memo_entries=0,
+                merged_verdict_entries=0,
+                elapsed_ms=1.0,
+                worker_gate_screens=3,
+                merged_gate_screens=6,
+            )
+
+    def test_event_accepts_balanced_accounting(self):
+        merged = BatchMerged(
+            group_count=2,
+            merged_memo_entries=5,
+            merged_verdict_entries=3,
+            elapsed_ms=1.0,
+            worker_solver_queries=7,
+            merged_solver_queries=7,
+            worker_gate_screens=4,
+            merged_gate_screens=4,
+        )
+        assert merged.worker_solver_queries == merged.merged_solver_queries
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_real_batches_emit_balanced_accounting(self, executor):
+        """Across all three executors, the BatchMerged event constructs
+        (its __post_init__ would raise on any imbalance) and reports the
+        same worker totals the sequential accounting implies."""
+        bus = EventBus()
+        log = bus.attach_log()
+        flay = Flay(parse_program(SOURCE), FlayOptions(target="none"), bus=bus)
+        flay.apply_batch(
+            two_group_batch(flay), workers=2, executor=executor
+        )
+        (merged,) = log.of_type(BatchMerged)
+        assert merged.worker_solver_queries == merged.merged_solver_queries
+        assert merged.worker_gate_screens == merged.merged_gate_screens
+        # The batch did real solver/gate work in the workers.
+        assert merged.worker_solver_queries > 0 or merged.worker_gate_screens > 0

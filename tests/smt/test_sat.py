@@ -269,7 +269,7 @@ class TestForkImport:
         pigeonhole(a, 4, 3)
         b = a.fork()
         assert b.solve() == UNSAT
-        exported = [list(c.lits) for c in b._learned]
+        exported = b.learned_clauses()
         imported = a.import_learned(exported)
         assert imported >= 0
         assert a.solve() == UNSAT

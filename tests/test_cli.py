@@ -89,6 +89,37 @@ def test_specialize_stats_prints_cache_counters(tmp_path, capsys):
         assert layer in err
 
 
+def test_specialize_batch_executor_flag(tmp_path, capsys):
+    """--batch with each --executor (and the auto-detect --workers default)
+    produces byte-identical output."""
+    config = {
+        "tables": {
+            "Fig3Ingress.eth_table": [
+                {
+                    "match": [{"ternary": ["0x2", "0xFFFFFFFFFFFF"]}],
+                    "action": "set",
+                    "args": ["0x900"],
+                    "priority": 10,
+                }
+            ]
+        }
+    }
+    config_path = tmp_path / "cfg.json"
+    config_path.write_text(json.dumps(config))
+    outputs = {}
+    for executor in ("serial", "thread", "process"):
+        out_path = tmp_path / f"specialized-{executor}.p4"
+        assert main([
+            "specialize", "corpus:fig3",
+            "--config", str(config_path),
+            "--batch", "--executor", executor,
+            "--output", str(out_path),
+        ]) == 0
+        outputs[executor] = out_path.read_text()
+        assert "batch of 1" in capsys.readouterr().err
+    assert outputs["serial"] == outputs["thread"] == outputs["process"]
+
+
 def test_specialize_effort_none(capsys):
     assert main(["specialize", "corpus:fig3", "--effort", "none"]) == 0
     out = capsys.readouterr().out
