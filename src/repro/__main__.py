@@ -12,6 +12,9 @@ Commands:
   conflict-group-parallel batch scheduler.
 * ``compile <prog.p4> [--target tofino|bmv2]`` — device-compile and print
   the resource/time report.
+* ``lint <prog.p4> [--fail-on error|warning|info]`` — positioned static
+  diagnostics (uninitialized header reads, unreachable branches, shadowed
+  cases, width truncation, dead actions, write-after-write).
 * ``corpus`` — list the bundled evaluation programs.
 """
 
@@ -79,6 +82,7 @@ def cmd_specialize(args) -> int:
         skip_parser=args.skip_parser,
         effort=args.effort,
         fdd_gate=not args.no_fdd_gate,
+        prune=not args.no_prune,
     )
     bus = EventBus()
     log = bus.attach_log() if args.stats else None
@@ -94,6 +98,8 @@ def cmd_specialize(args) -> int:
         else:
             decision = flay.process_batch(configuration.updates())
         print(f"# config: {decision.describe()}", file=sys.stderr)
+    if flay.prune_report is not None:
+        print(f"# {flay.prune_report.summary()}", file=sys.stderr)
     print(f"# specializations: {flay.report.summary()}", file=sys.stderr)
     if args.stats:
         print(f"# pipeline events: {log.summary()}", file=sys.stderr)
@@ -135,6 +141,20 @@ def cmd_compile(args) -> int:
             more = "..." if len(stage.tables) > 6 else ""
             print(f"  stage {stage.index:>2}: {stage.table_count} tables, "
                   f"{stage.gateways} gateways — {names}{more}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import SEVERITY_RANK, lint_program
+
+    program = _load_program(args.program)
+    report = lint_program(program, skip_parser=args.skip_parser)
+    for diag in report.diagnostics:
+        print(f"{args.program}:{diag.render()}")
+    print(f"# {report.summary()}", file=sys.stderr)
+    worst = report.max_severity()
+    if worst is not None and SEVERITY_RANK[worst] >= SEVERITY_RANK[args.fail_on]:
+        return 1
     return 0
 
 
@@ -192,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         "output is byte-identical, only slower)",
     )
     p_spec.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable the abstract-interpretation prune pass between "
+        "typecheck and analysis (ablation; output is byte-identical, "
+        "the cold pipeline just analyzes dead paths it could skip)",
+    )
+    p_spec.add_argument(
         "--batch",
         action="store_true",
         help="apply the --config updates through the batch scheduler "
@@ -230,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.add_argument("--stages", action="store_true", help="per-stage detail")
     p_compile.set_defaults(func=cmd_compile)
+
+    p_lint = sub.add_parser("lint", help="positioned static diagnostics")
+    p_lint.add_argument("program")
+    p_lint.add_argument("--skip-parser", action="store_true")
+    p_lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="exit non-zero when a finding at or above this severity "
+        "exists (default: error)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_corpus = sub.add_parser("corpus", help="list bundled programs")
     p_corpus.set_defaults(func=cmd_corpus)

@@ -130,6 +130,13 @@ class Flay:
         the gate is disabled (``fdd_gate=False``)."""
         return self.runtime.gate_stats()
 
+    @property
+    def prune_report(self):
+        """The abstract-interpretation prune pass's report (a
+        ``PruneReport``), or None when pruning is disabled
+        (``prune=False``)."""
+        return self.runtime.prune_report
+
     def summary(self) -> str:
         log = self.runtime.update_log
         lines = [

@@ -230,7 +230,12 @@ def coalesce(
 
 
 def conflict_components(
-    model, program=None, env=None, *, strict: bool = False
+    model,
+    program=None,
+    env=None,
+    *,
+    strict: bool = False,
+    precision: str = "flow",
 ) -> dict[str, str]:
     """Map every table and value set to its conflict-component root.
 
@@ -244,11 +249,16 @@ def conflict_components(
     what makes the per-group memo grafts conflict-free.
 
     ``strict=True`` additionally merges tables linked by the
-    :mod:`repro.ir.deps` match/action dependency graph.  Those edges are
-    *syntactic* (field-level reads/writes without kill tracking), so they
-    over-merge heavily — on the scion program they collapse 28 taint
-    components into one, serializing the whole batch — but they can never
-    miss a conflict the taint index sees, which makes the strict mode a
+    :mod:`repro.ir.deps` match/action dependency graph.  ``precision``
+    selects the graph's read/write sets: the historical ``"syntactic"``
+    walk (field-level mentions without kill tracking) over-merges
+    heavily — on the scion program it collapses 28 taint components into
+    one, serializing the whole batch — while the default ``"flow"``
+    precision (flow-sensitive per-action effects from
+    :mod:`repro.analysis.dataflow.effects`) drops reads that are
+    provably preceded by a definite write and so keeps independent
+    tables in separate groups.  Either way the edges can never miss a
+    conflict the taint index sees, which makes the strict mode a
     differential-testing oracle for the default partition.
     """
     parent: dict[str, str] = {}
@@ -278,7 +288,7 @@ def conflict_components(
                     union(owner, name)
     if strict and program is not None:
         try:
-            graph = build_dependency_graph(program, env)
+            graph = build_dependency_graph(program, env, precision=precision)
         except Exception:
             graph = None  # partial front ends still get taint-based groups
         if graph is not None:

@@ -30,6 +30,12 @@ class EngineOptions:
     overapprox_threshold: Optional[int] = DEFAULT_OVERAPPROX_THRESHOLD
     use_solver: bool = True  # allow SAT fallback for executability queries
     prune_parser_tail: bool = True
+    # Abstract-interpretation prune pass between typecheck and analysis:
+    # folds ground constants and deletes statically-dead branches before
+    # symexec/encoding ever see them.  Specialized output is byte-identical
+    # either way (``--no-prune`` ablation); pruning only shrinks the cold
+    # pipeline's work.  Follows the ``effort`` preset (off at "none").
+    prune: bool = True
     target: str = "tofino"  # any registered backend name, or "none"
     effort: str = "full"  # none | dce | full — specialization quality knob
     # Solver budget in CDCL conflicts: None means the QueryEngine defaults.
@@ -59,6 +65,7 @@ class EngineTimings:
     """The Table 2 measurement surface (exported as ``FlayTimings``)."""
 
     parse_seconds: float = 0.0
+    prune_seconds: float = 0.0
     data_plane_analysis_seconds: float = 0.0
     initial_specialization_seconds: float = 0.0
     update_ms: list = field(default_factory=list)
@@ -99,6 +106,9 @@ class EngineContext:
     source: Optional[str] = None
     program: Optional[object] = None  # ast.Program
     env: Optional[object] = None  # TypeEnv
+    # Prune-pass outcome (an analysis.dataflow.prune.PruneReport, or None
+    # when the pass is disabled).
+    prune_report: Optional[object] = None
     # Analysis products.
     model: Optional[object] = None  # DataPlaneModel
     state: Optional[object] = None  # ControlPlaneState

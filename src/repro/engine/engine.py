@@ -79,6 +79,7 @@ class Engine:
             0.0,
             total
             - self.ctx.timings.parse_seconds
+            - self.ctx.timings.prune_seconds
             - self.ctx.timings.data_plane_analysis_seconds,
         )
 
@@ -356,6 +357,11 @@ class Engine:
     def gate_stats(self):
         """Gate tier counters (a ``GateStats``), or None when gated off."""
         return self.ctx.gate.snapshot() if self.ctx.gate is not None else None
+
+    @property
+    def prune_report(self):
+        """The prune pass's report, or None under ``--no-prune``."""
+        return self.ctx.prune_report
 
     # -- context views (the pre-engine attribute surface) ----------------------
     # Everything below delegates to the context so code written against the

@@ -140,6 +140,39 @@ class TypeCheckPass:
             ctx.env = TypeEnv(ctx.program)
 
 
+class PrunePass:
+    """Abstract-interpretation prune: fold constants, drop dead branches.
+
+    Runs between typecheck and analysis so the symbolic executor and the
+    encoder never see statically-dead paths.  The rewrite is specialized-
+    output-preserving by construction (see
+    :mod:`repro.analysis.dataflow.prune`); ``options.prune=False`` is the
+    ``--no-prune`` ablation.  The type environment is rebuilt when the
+    program changed so every downstream consumer sees one consistent AST.
+    """
+
+    name = "prune"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        from repro.analysis.dataflow.prune import prune_program
+
+        if not ctx.options.prune or ctx.options.effort == "none":
+            return
+        start = time.perf_counter()
+        pruned, report = prune_program(
+            ctx.program,
+            ctx.env,
+            effort=ctx.options.effort,
+            skip_parser=ctx.options.skip_parser,
+        )
+        ctx.prune_report = report
+        if pruned is not ctx.program:
+            ctx.program = pruned
+            ctx.env = TypeEnv(pruned)
+        ctx.timings.prune_seconds = time.perf_counter() - start
+
+
 class AnalysisPass:
     """One-time data-plane analysis plus the long-lived engine state.
 
@@ -379,6 +412,7 @@ def cold_passes() -> list:
     return [
         ParsePass(),
         TypeCheckPass(),
+        PrunePass(),
         AnalysisPass(),
         EncodePass(),
         SpecializePass(),

@@ -110,11 +110,25 @@ class DependencyGraph:
         return [frozenset(members) for members in grouped.values()]
 
 
+#: Read/write-set precision for table nodes.  ``"syntactic"`` is the
+#: historical walk below (every field mention in an action body is a
+#: read, ``hash``/``update_checksum`` destinations included).  ``"flow"``
+#: delegates to :func:`repro.analysis.dataflow.effects.action_effects`,
+#: which kill-tracks definite writes (a field rebuilt before use never
+#: escapes as a read) and treats destination-writing externs as writes —
+#: strictly fewer spurious match/action edges, never a missed real one.
+PRECISION_SYNTACTIC = "syntactic"
+PRECISION_FLOW = "flow"
+
+
 def build_dependency_graph(
-    program: ast.Program, env: Optional[TypeEnv] = None
+    program: ast.Program,
+    env: Optional[TypeEnv] = None,
+    *,
+    precision: str = PRECISION_SYNTACTIC,
 ) -> DependencyGraph:
     env = env if env is not None else TypeEnv(program)
-    builder = _Builder(program, env)
+    builder = _Builder(program, env, precision=precision)
     for control_name in program.pipeline.controls:
         control = program.find(control_name)
         builder.walk_control(control)
@@ -123,9 +137,17 @@ def build_dependency_graph(
 
 
 class _Builder:
-    def __init__(self, program: ast.Program, env: TypeEnv) -> None:
+    def __init__(
+        self,
+        program: ast.Program,
+        env: TypeEnv,
+        precision: str = PRECISION_SYNTACTIC,
+    ) -> None:
+        if precision not in (PRECISION_SYNTACTIC, PRECISION_FLOW):
+            raise ValueError(f"unknown dependency precision {precision!r}")
         self.program = program
         self.env = env
+        self.precision = precision
         self.nodes: dict[str, TableNode] = {}
         self.edges: list[DepEdge] = []
         self.order: list[str] = []
@@ -236,9 +258,17 @@ class _Builder:
             node.action_param_bits += sum(
                 self.env.width_of(p.type) for p in action.params
             )
-            reads, writes = _action_effects(action)
-            node.reads |= reads
-            node.writes |= writes
+            if self.precision == PRECISION_FLOW:
+                # Imported lazily: ir is a lower layer than analysis.
+                from repro.analysis.dataflow.effects import action_effects
+
+                effects = action_effects(action)
+                node.reads |= effects.reads
+                node.writes |= effects.writes
+            else:
+                reads, writes = _action_effects(action)
+                node.reads |= reads
+                node.writes |= writes
         self._register(node, guards, branch)
         return node
 

@@ -195,6 +195,7 @@ class SwitchCase:
 
     action: Optional[str]  # None = default arm
     body: Block
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -225,6 +226,7 @@ class StructField:
 class HeaderDecl:
     name: str
     fields: tuple  # of StructField
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -258,6 +260,7 @@ class ActionDecl:
     name: str
     params: tuple  # of Param
     body: Block
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -280,6 +283,7 @@ class TableDecl:
     actions: tuple  # of ActionRef
     default_action: Optional[ActionRef]
     size: Optional[int] = None
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -307,6 +311,7 @@ class ControlDecl:
     params: tuple  # of Param
     locals: tuple  # of ActionDecl | TableDecl | InstantiationDecl | VarDeclStmt
     apply: Block
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 # -- parsers --------------------------------------------------------------
@@ -330,6 +335,7 @@ class SelectCaseKey:
 class SelectCase:
     keys: tuple  # of SelectCaseKey, one per select expression
     state: str
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -355,6 +361,7 @@ class ParserState:
     name: str
     statements: tuple  # of Stmt (extract calls, assignments)
     transition: Transition
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -363,6 +370,7 @@ class ParserDecl:
     params: tuple  # of Param
     locals: tuple  # of ValueSetDecl | VarDeclStmt
     states: tuple  # of ParserState
+    pos: Optional[SourcePos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

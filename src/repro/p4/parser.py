@@ -168,7 +168,7 @@ class _Parser:
     def _header_decl(self) -> ast.HeaderDecl:
         self._expect("header")
         name = self._expect_ident()
-        return ast.HeaderDecl(name.text, self._field_list())
+        return ast.HeaderDecl(name.text, self._field_list(), pos=name.pos)
 
     def _struct_decl(self) -> ast.StructDecl:
         self._expect("struct")
@@ -247,7 +247,9 @@ class _Parser:
                 raise ParseError(
                     f"unexpected {token.text!r} in parser body", token.pos
                 )
-        return ast.ParserDecl(name.text, params, tuple(locals_), tuple(states))
+        return ast.ParserDecl(
+            name.text, params, tuple(locals_), tuple(states), pos=name.pos
+        )
 
     def _value_set_decl(self) -> ast.ValueSetDecl:
         self._expect("value_set")
@@ -272,7 +274,9 @@ class _Parser:
                 transition = self._transition()
             else:
                 statements.append(self._statement())
-        return ast.ParserState(name.text, tuple(statements), transition)
+        return ast.ParserState(
+            name.text, tuple(statements), transition, pos=name.pos
+        )
 
     def _transition(self) -> ast.Transition:
         self._expect("transition")
@@ -292,6 +296,7 @@ class _Parser:
         return ast.TransitionDirect(state.text)
 
     def _select_case(self, arity: int) -> ast.SelectCase:
+        case_pos = self._peek().pos
         keys: list[ast.SelectCaseKey]
         if self._accept("("):
             keys = [self._select_keyset()]
@@ -311,7 +316,7 @@ class _Parser:
         self._expect(":")
         state = self._expect_ident()
         self._expect(";")
-        return ast.SelectCase(tuple(keys), state.text)
+        return ast.SelectCase(tuple(keys), state.text, pos=case_pos)
 
     def _select_keyset(self) -> ast.SelectCaseKey:
         token = self._peek()
@@ -360,14 +365,16 @@ class _Parser:
                 )
         if apply_block is None:
             raise ParseError(f"control {name.text!r} has no apply block", name.pos)
-        return ast.ControlDecl(name.text, params, tuple(locals_), apply_block)
+        return ast.ControlDecl(
+            name.text, params, tuple(locals_), apply_block, pos=name.pos
+        )
 
     def _action_decl(self) -> ast.ActionDecl:
         self._expect("action")
         name = self._expect_ident()
         params = self._params()
         body = self._block()
-        return ast.ActionDecl(name.text, params, body)
+        return ast.ActionDecl(name.text, params, body, pos=name.pos)
 
     def _table_decl(self) -> ast.TableDecl:
         self._expect("table")
@@ -401,7 +408,9 @@ class _Parser:
                 raise ParseError(
                     f"unknown table property {prop.text!r}", prop.pos
                 )
-        return ast.TableDecl(name.text, keys, actions, default_action, size)
+        return ast.TableDecl(
+            name.text, keys, actions, default_action, size, pos=name.pos
+        )
 
     def _table_keys(self) -> tuple:
         self._expect("{")
@@ -550,13 +559,14 @@ class _Parser:
         self._expect("{")
         cases: list[ast.SwitchCase] = []
         while not self._accept("}"):
+            case_pos = self._peek().pos
             if self._accept("default"):
                 label: Optional[str] = None
             else:
                 label = self._expect_ident().text
             self._expect(":")
             body = self._block()
-            cases.append(ast.SwitchCase(label, body))
+            cases.append(ast.SwitchCase(label, body, pos=case_pos))
         return ast.SwitchStmt(table, tuple(cases), pos=pos)
 
     # -- expressions --------------------------------------------------------------------------------

@@ -1,0 +1,462 @@
+"""Seeded-diagnostic tests for ``repro.analysis.lint``.
+
+Each diagnostic class gets a program with the defect planted at a known
+location; the tests assert the code, severity, and the *exact* source
+position (computed from the seeded source, so reformatting the fixture
+keeps them honest).
+"""
+
+import pytest
+
+from repro.analysis import lint as L
+from repro.errors import SourcePos
+from repro.p4.parser import parse_program
+
+
+def lint_src(source, **kwargs):
+    return L.lint_program(parse_program(source), **kwargs)
+
+
+def by_code(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+def pos_of(source, marker, token=None):
+    """The 1-based position of ``token`` on the line containing ``marker``."""
+    for lineno, line in enumerate(source.splitlines(), 1):
+        if marker in line:
+            needle = token if token is not None else marker
+            return SourcePos(lineno, line.index(needle) + 1)
+    raise AssertionError(f"marker {marker!r} not in source")
+
+
+PREAMBLE = """
+header h_t { bit<8> a; bit<8> b; }
+header u_t { bit<8> x; }
+struct headers_t { h_t h; u_t u; }
+struct meta_t { bit<8> m; bit<8> n; bit<16> w; }
+"""
+
+
+def program(parser_body, control_locals, apply_body):
+    return f"""{PREAMBLE}
+parser P(inout headers_t hdr, inout meta_t meta) {{
+{parser_body}
+}}
+control C(inout headers_t hdr, inout meta_t meta) {{
+{control_locals}
+    apply {{
+{apply_body}
+    }}
+}}
+Pipeline(P(), C()) main;
+"""
+
+
+EXTRACT_H = "    state start { pkt_extract(hdr.h); transition accept; }"
+
+
+class TestCleanProgram:
+    def test_no_findings(self):
+        source = program(
+            EXTRACT_H,
+            """
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.a: exact; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+""",
+            "        t.apply();\n        hdr.h.b = meta.m;",
+        )
+        report = lint_src(source)
+        assert report.diagnostics == []
+        assert report.max_severity() is None
+        assert report.summary() == "no findings"
+
+
+class TestUninitializedHeaderRead:
+    def test_read_of_never_extracted_header(self):
+        source = program(EXTRACT_H, "", "        meta.m = hdr.u.x;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.UNINITIALIZED_HEADER_READ)
+        assert diag.severity == L.SEVERITY_ERROR
+        assert "hdr.u" in diag.message and "'hdr.u.x'" in diag.message
+        assert diag.pos == pos_of(source, "meta.m = hdr.u.x;", "meta.m")
+
+    def test_extracted_header_read_is_clean(self):
+        source = program(EXTRACT_H, "", "        meta.m = hdr.h.a;")
+        assert by_code(lint_src(source), L.UNINITIALIZED_HEADER_READ) == []
+
+    def test_isvalid_guard_suppresses_the_read(self):
+        # The guarded read never executes; the guard itself is reported
+        # as an always-false branch instead.
+        source = program(
+            EXTRACT_H,
+            "",
+            "        if (hdr.u.isValid()) { meta.m = hdr.u.x; }",
+        )
+        report = lint_src(source)
+        assert by_code(report, L.UNINITIALIZED_HEADER_READ) == []
+
+    def test_conditionally_extracted_header_is_clean(self):
+        parser_body = """
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.a) {
+            8w0: u;
+            default: accept;
+        }
+    }
+    state u { pkt_extract(hdr.u); transition accept; }
+"""
+        source = program(parser_body, "", "        meta.m = hdr.u.x;")
+        assert by_code(lint_src(source), L.UNINITIALIZED_HEADER_READ) == []
+
+    def test_skip_parser_assumes_validity(self):
+        source = program(EXTRACT_H, "", "        meta.m = hdr.u.x;")
+        report = lint_src(source, skip_parser=True)
+        assert by_code(report, L.UNINITIALIZED_HEADER_READ) == []
+
+
+class TestUnreachableBranch:
+    def test_constant_true_condition(self):
+        source = program(
+            EXTRACT_H,
+            "",
+            """        meta.m = 8w1;
+        if (meta.m == 8w1) { meta.n = 8w2; } else { meta.n = 8w3; }""",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.UNREACHABLE_BRANCH)
+        assert diag.severity == L.SEVERITY_WARNING
+        assert "always true" in diag.message
+        assert diag.pos == pos_of(source, "if (meta.m == 8w1)", "if")
+
+    def test_constant_false_condition(self):
+        source = program(
+            EXTRACT_H,
+            "",
+            """        meta.m = 8w1;
+        if (meta.m == 8w2) { meta.n = 8w2; }""",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.UNREACHABLE_BRANCH)
+        assert "always false" in diag.message
+        assert diag.pos == pos_of(source, "if (meta.m == 8w2)", "if")
+
+    def test_true_without_else_is_silent(self):
+        # Foldable, but nothing is unreachable.
+        source = program(
+            EXTRACT_H, "", "        if (true) { meta.m = 8w1; }"
+        )
+        assert by_code(lint_src(source), L.UNREACHABLE_BRANCH) == []
+
+    def test_data_dependent_condition_is_silent(self):
+        source = program(
+            EXTRACT_H,
+            "",
+            "        if (hdr.h.a == 8w1) { meta.n = 8w2; } else { meta.n = 8w3; }",
+        )
+        assert by_code(lint_src(source), L.UNREACHABLE_BRANCH) == []
+
+
+class TestShadowedSelectCase:
+    def test_case_after_catch_all_default(self):
+        parser_body = """
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.a) {
+            8w0: s0;
+            default: accept;
+            8w1: s0;
+        }
+    }
+    state s0 { transition accept; }
+"""
+        source = program(parser_body, "", "        meta.m = 8w0;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.SHADOWED_SELECT_CASE)
+        assert diag.severity == L.SEVERITY_WARNING
+        assert "catch-all" in diag.message
+        assert diag.pos == pos_of(source, "8w1: s0;", "8w1")
+
+    def test_duplicate_keyset(self):
+        parser_body = """
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.a) {
+            8w0: s0;
+            8w0: accept;
+            default: accept;
+        }
+    }
+    state s0 { transition accept; }
+"""
+        source = program(parser_body, "", "        meta.m = 8w0;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.SHADOWED_SELECT_CASE)
+        assert "repeats" in diag.message
+        assert diag.pos == pos_of(source, "8w0: accept;", "8w0")
+
+    def test_distinct_cases_are_clean(self):
+        parser_body = """
+    state start {
+        pkt_extract(hdr.h);
+        transition select(hdr.h.a) {
+            8w0: s0;
+            8w1: s0;
+            default: accept;
+        }
+    }
+    state s0 { transition accept; }
+"""
+        source = program(parser_body, "", "        meta.m = 8w0;")
+        assert by_code(lint_src(source), L.SHADOWED_SELECT_CASE) == []
+
+
+SWITCH_LOCALS = """
+    action set(bit<8> v) { meta.m = v; }
+    action noop() { }
+    table t {
+        key = { hdr.h.a: exact; }
+        actions = { set; noop; }
+        default_action = noop();
+    }
+"""
+
+
+class TestSwitchCases:
+    def test_duplicate_arm_is_shadowed(self):
+        source = program(
+            EXTRACT_H,
+            SWITCH_LOCALS,
+            """        switch (t.apply().action_run) {
+            set: { meta.n = 8w1; }
+            set: { meta.n = 8w2; }
+            default: { }
+        }""",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.SHADOWED_SWITCH_CASE)
+        assert diag.severity == L.SEVERITY_WARNING
+        assert diag.pos == pos_of(source, "set: { meta.n = 8w2; }", "set")
+
+    def test_unknown_action_arm_is_unreachable(self):
+        source = program(
+            EXTRACT_H,
+            SWITCH_LOCALS,
+            """        switch (t.apply().action_run) {
+            set: { meta.n = 8w1; }
+            missing: { meta.n = 8w2; }
+            default: { }
+        }""",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.UNREACHABLE_SWITCH_CASE)
+        assert "'missing'" in diag.message and "'t'" in diag.message
+        assert diag.pos == pos_of(source, "missing: {", "missing")
+
+    def test_well_formed_switch_is_clean(self):
+        source = program(
+            EXTRACT_H,
+            SWITCH_LOCALS,
+            """        switch (t.apply().action_run) {
+            set: { meta.n = 8w1; }
+            noop: { meta.n = 8w2; }
+            default: { }
+        }""",
+        )
+        report = lint_src(source)
+        assert by_code(report, L.SHADOWED_SWITCH_CASE) == []
+        assert by_code(report, L.UNREACHABLE_SWITCH_CASE) == []
+
+
+class TestWidthTruncation:
+    def test_oversized_sized_literal(self):
+        source = program(EXTRACT_H, "", "        meta.m = 16w300;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WIDTH_TRUNCATION)
+        assert diag.severity == L.SEVERITY_WARNING
+        assert "16-bit literal" in diag.message
+        assert diag.pos == pos_of(source, "meta.m = 16w300;", "meta.m")
+
+    def test_unsized_literal_that_does_not_fit(self):
+        source = program(EXTRACT_H, "", "        meta.m = 300;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WIDTH_TRUNCATION)
+        assert "does not fit" in diag.message
+        assert diag.pos == pos_of(source, "meta.m = 300;", "meta.m")
+
+    def test_wide_field_into_narrow_field(self):
+        source = program(EXTRACT_H, "", "        meta.m = meta.w;")
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WIDTH_TRUNCATION)
+        assert "16-bit value" in diag.message
+        assert diag.pos == pos_of(source, "meta.m = meta.w;", "meta.m")
+
+    def test_explicit_cast_is_intentional(self):
+        source = program(EXTRACT_H, "", "        meta.m = (bit<8>) meta.w;")
+        assert by_code(lint_src(source), L.WIDTH_TRUNCATION) == []
+
+    def test_widening_is_clean(self):
+        source = program(EXTRACT_H, "", "        meta.w = 16w3;")
+        assert by_code(lint_src(source), L.WIDTH_TRUNCATION) == []
+
+    def test_truncation_inside_action(self):
+        source = program(
+            EXTRACT_H,
+            """
+    action bad() { meta.m = meta.w; }
+    table t {
+        key = { hdr.h.a: exact; }
+        actions = { bad; }
+        default_action = bad();
+    }
+""",
+            "        t.apply();",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WIDTH_TRUNCATION)
+        assert diag.unit == "C.bad"
+
+
+class TestDeadAction:
+    def test_unreferenced_action(self):
+        source = program(
+            EXTRACT_H,
+            """
+    action used() { meta.m = 8w1; }
+    action orphan() { meta.m = 8w2; }
+    table t {
+        key = { hdr.h.a: exact; }
+        actions = { used; }
+        default_action = used();
+    }
+""",
+            "        t.apply();",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.DEAD_ACTION)
+        assert diag.severity == L.SEVERITY_INFO
+        assert "'orphan'" in diag.message
+        assert diag.pos == pos_of(source, "action orphan()", "orphan")
+
+    def test_directly_called_action_is_live(self):
+        source = program(
+            EXTRACT_H,
+            "    action helper() { meta.m = 8w1; }",
+            "        helper();",
+        )
+        assert by_code(lint_src(source), L.DEAD_ACTION) == []
+
+    def test_action_called_from_live_action_is_live(self):
+        source = program(
+            EXTRACT_H,
+            """
+    action inner() { meta.n = 8w2; }
+    action outer() { inner(); }
+""",
+            "        outer();",
+        )
+        assert by_code(lint_src(source), L.DEAD_ACTION) == []
+
+
+class TestWriteAfterWrite:
+    def test_straight_line_overwrite(self):
+        source = program(
+            EXTRACT_H,
+            "",
+            """        meta.m = 8w1;
+        meta.m = 8w2;""",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WRITE_AFTER_WRITE)
+        assert diag.severity == L.SEVERITY_WARNING
+        assert "'meta.m'" in diag.message
+        assert diag.pos == pos_of(source, "meta.m = 8w2;", "meta.m")
+        first = pos_of(source, "meta.m = 8w1;", "meta.m")
+        assert str(first) in diag.message
+
+    def test_intervening_read_clears(self):
+        source = program(
+            EXTRACT_H,
+            "",
+            """        meta.m = 8w1;
+        meta.n = meta.m;
+        meta.m = 8w2;""",
+        )
+        assert by_code(lint_src(source), L.WRITE_AFTER_WRITE) == []
+
+    def test_overwrite_inside_action(self):
+        source = program(
+            EXTRACT_H,
+            """
+    action a() {
+        meta.n = 8w1;
+        meta.n = 8w2;
+    }
+""",
+            "        a();",
+        )
+        report = lint_src(source)
+        (diag,) = by_code(report, L.WRITE_AFTER_WRITE)
+        assert diag.unit == "C.a"
+        assert diag.pos == pos_of(source, "meta.n = 8w2;", "meta.n")
+
+
+class TestReportApi:
+    def _report(self):
+        source = program(
+            EXTRACT_H,
+            "    action orphan() { meta.n = 8w9; }",
+            """        meta.m = hdr.u.x;
+        meta.m = 16w300;""",
+        )
+        return lint_src(source)
+
+    def test_severity_mix_and_ordering(self):
+        report = self._report()
+        codes = [d.code for d in report.diagnostics]
+        assert L.UNINITIALIZED_HEADER_READ in codes
+        assert L.WIDTH_TRUNCATION in codes
+        assert L.DEAD_ACTION in codes
+        # Source order: positions are non-decreasing.
+        positions = [d.pos for d in report.diagnostics if d.pos is not None]
+        assert positions == sorted(positions, key=lambda p: (p.line, p.column))
+
+    def test_max_severity_and_filters(self):
+        report = self._report()
+        assert report.max_severity() == L.SEVERITY_ERROR
+        errors = report.at_least(L.SEVERITY_ERROR)
+        assert all(d.severity == L.SEVERITY_ERROR for d in errors)
+        assert len(report.at_least(L.SEVERITY_INFO)) == len(report.diagnostics)
+        counts = report.counts()
+        assert counts[L.SEVERITY_ERROR] >= 1
+        assert counts[L.SEVERITY_INFO] >= 1
+
+    def test_render_format(self):
+        report = self._report()
+        diag = report.at_least(L.SEVERITY_ERROR)[0]
+        rendered = diag.render()
+        assert rendered.startswith(f"{diag.pos}: error: [{diag.code}]")
+
+    def test_write_after_write_also_flagged(self):
+        # meta.m is assigned twice with no intervening read.
+        report = self._report()
+        assert by_code(report, L.WRITE_AFTER_WRITE)
+
+
+class TestCorpus:
+    def test_lint_runs_on_every_corpus_program(self):
+        from repro.programs import registry
+
+        for name in registry.CORPUS:
+            report = L.lint_program(registry.load(name))
+            assert report.max_severity() in (
+                None,
+                L.SEVERITY_INFO,
+                L.SEVERITY_WARNING,
+            ), f"{name}: {[d.render() for d in report.at_least('error')]}"

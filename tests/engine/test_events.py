@@ -49,7 +49,9 @@ def test_cold_pipeline_emits_pass_events_in_order():
     _engine(bus=bus)
     started = [e.pass_name for e in log.of_type(PassStarted)]
     finished = [e.pass_name for e in log.of_type(PassFinished)]
-    expected = ["parse", "typecheck", "analyze", "encode", "specialize", "lower"]
+    expected = [
+        "parse", "typecheck", "prune", "analyze", "encode", "specialize", "lower",
+    ]
     assert started == expected
     assert finished == expected
     assert all(e.stage == "cold" for e in log.of_type(PassStarted))

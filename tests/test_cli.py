@@ -152,3 +152,40 @@ def test_program_from_file(tmp_path, capsys):
     path.write_text(source())
     assert main(["stats", str(path)]) == 0
     assert "statements" in capsys.readouterr().out
+
+
+def test_lint_clean_program(capsys):
+    assert main(["lint", "corpus:scion"]) == 0
+    captured = capsys.readouterr()
+    assert "no findings" in captured.err
+
+
+def test_lint_reports_positioned_findings(capsys):
+    assert main(["lint", "corpus:switch"]) == 0
+    out = capsys.readouterr().out
+    assert "[dead-action]" in out
+    assert "[unreachable-branch]" in out
+    # Findings carry line:column positions.
+    assert "corpus:switch:246:12" in out
+
+
+def test_lint_fail_on_threshold(capsys):
+    # switch has warnings but no errors: default threshold passes,
+    # lowering it to warning fails.
+    assert main(["lint", "corpus:switch", "--fail-on", "error"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "corpus:switch", "--fail-on", "warning"]) == 1
+
+
+def test_specialize_no_prune_is_byte_identical(tmp_path, capsys):
+    out_a = tmp_path / "pruned.p4"
+    out_b = tmp_path / "no_prune.p4"
+    assert main(["specialize", "corpus:fig3", "-o", str(out_a)]) == 0
+    err = capsys.readouterr().err
+    assert "prune:" in err
+    assert main([
+        "specialize", "corpus:fig3", "--no-prune", "-o", str(out_b)
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "prune:" not in err
+    assert out_a.read_text() == out_b.read_text()

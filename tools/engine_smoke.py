@@ -28,7 +28,8 @@ def main() -> int:
 
     cold = [e.pass_name for e in log.of_type(PassFinished)]
     assert cold == [
-        "parse", "typecheck", "analyze", "encode", "specialize", "lower",
+        "parse", "typecheck", "prune", "analyze", "encode", "specialize",
+        "lower",
     ], f"unexpected cold pipeline: {cold}"
     assert log.count(TargetCompiled) == 1, "cold lowering must compile once"
 

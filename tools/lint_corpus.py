@@ -1,0 +1,55 @@
+"""CI gate: ``repro lint`` over every corpus program, against a baseline.
+
+Known findings on the corpus (the switch kitchen-sink carries real dead
+code and dead actions by design) are recorded in ``BASELINE`` as
+``(program, code) -> count``.  The job fails when a program produces a
+finding the baseline does not cover — a *new* warning — or when a
+baseline entry stops firing, so stale entries cannot hide regressions.
+
+Run locally with ``PYTHONPATH=src python tools/lint_corpus.py``.
+"""
+
+import sys
+
+from repro.analysis.lint import lint_program
+from repro.programs import registry
+
+#: (program, diagnostic code) -> expected count.
+BASELINE = {
+    ("switch", "dead-action"): 3,
+    ("switch", "unreachable-branch"): 2,
+}
+
+
+def main() -> int:
+    failures = []
+    for name in sorted(registry.CORPUS):
+        report = lint_program(registry.load(name))
+        counts: dict[str, int] = {}
+        for diag in report.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+            print(f"{name}:{diag.render()}")
+        for code, count in sorted(counts.items()):
+            expected = BASELINE.get((name, code), 0)
+            if count > expected:
+                failures.append(
+                    f"{name}: {count} x {code} (baseline allows {expected})"
+                )
+        for (base_name, code), expected in BASELINE.items():
+            if base_name == name and counts.get(code, 0) < expected:
+                failures.append(
+                    f"{name}: {code} fired {counts.get(code, 0)} times, "
+                    f"baseline records {expected} — update the baseline"
+                )
+        print(f"{name}: {report.summary()}")
+    if failures:
+        print("\nlint gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nlint gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
