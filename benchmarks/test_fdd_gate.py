@@ -26,6 +26,16 @@ import time
 from conftest import heading, make_flay
 from repro.runtime.fuzzer import EntryFuzzer
 
+# Tracked acceptance floors (validated again offline by
+# ``tools/check_bench.py`` against the committed BENCH_6.json).
+SWITCH_SPEEDUP_FLOOR = 5.0
+SWITCH_SOLVER_FREE_FLOOR = 0.8
+# The scion stream lands mostly on parser points the warm path never
+# re-verdicts, so the gate is near-neutral there: BENCH_6 records the
+# speedup at ≈ 0.78×.  The floor pins "near-neutral" — a drop below
+# 0.6× would mean gate bookkeeping started costing real verdict time.
+SCION_SPEEDUP_FLOOR = 0.6
+
 SWITCH_TABLES = [
     "SwitchIngress.nat_table",
     "SwitchIngress.ipv4_multicast",
@@ -148,6 +158,9 @@ def test_gate_speedup_on_disjoint_stream(benchmark, corpus_programs):
         "stream_count": STREAM_COUNT,
         "warmup_seed": WARMUP_SEED,
         "stream_seed": STREAM_SEED,
+        "switch_verdict_speedup_floor": SWITCH_SPEEDUP_FLOOR,
+        "switch_solver_free_rate_floor": SWITCH_SOLVER_FREE_FLOOR,
+        "scion_verdict_speedup_floor": SCION_SPEEDUP_FLOOR,
     }
 
     heading("FDD verdict gate: gated vs ungated warm verdict phase")
@@ -166,6 +179,8 @@ def test_gate_speedup_on_disjoint_stream(benchmark, corpus_programs):
 
     benchmark.pedantic(gated_run, rounds=1, iterations=1)
     benchmark.extra_info["switch_verdict_speedup"] = round(switch_speedup, 2)
+    benchmark.extra_info["scion_verdict_speedup"] = round(scion_speedup, 2)
+    benchmark.extra_info["scion_verdict_speedup_floor"] = SCION_SPEEDUP_FLOOR
 
     out_path = os.environ.get("GATE_BENCH_JSON")
     if out_path:
@@ -173,7 +188,8 @@ def test_gate_speedup_on_disjoint_stream(benchmark, corpus_programs):
             json.dump(timings, handle, indent=2, sort_keys=True)
         print(f"wrote {out_path}")
 
-    assert switch_speedup >= 5.0
-    assert switch_rate >= 0.8
-    # The scion stream must at least not regress meaningfully.
-    assert scion_speedup >= 0.5
+    assert switch_speedup >= SWITCH_SPEEDUP_FLOOR
+    assert switch_rate >= SWITCH_SOLVER_FREE_FLOOR
+    # The scion stream must at least not regress meaningfully (≈ 0.78×
+    # measured; see SCION_SPEEDUP_FLOOR above).
+    assert scion_speedup >= SCION_SPEEDUP_FLOOR

@@ -44,6 +44,16 @@ def _load_program(path: str):
         return parse_program(handle.read())
 
 
+def _load_source(path: str) -> str:
+    """The program's canonical source text (content-addressing needs text)."""
+    if path.startswith("corpus:"):
+        from repro.programs import registry
+
+        return registry.get(path.split(":", 1)[1]).source()
+    with open(path) as handle:
+        return handle.read()
+
+
 def cmd_stats(args) -> int:
     program = _load_program(args.program)
     metrics = measure(program)
@@ -158,6 +168,91 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_fleet_replay(args) -> int:
+    import json
+
+    from repro.fleet import FleetSimulator
+    from repro.fleet.sim import dedup_ratio
+
+    source = _load_source(args.program)
+    options = FlayOptions(
+        target=args.target,
+        skip_parser=args.skip_parser,
+        fdd_gate=not args.no_fdd_gate,
+    )
+    kwargs = dict(
+        switches=args.switches,
+        options=options,
+        seed=args.seed,
+        duration=args.duration,
+        mean_interval=args.mean_interval,
+        correlation=args.correlation,
+        updates_per_burst=args.updates_per_burst,
+        divergent_prefix=args.divergent_prefix,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    sim = FleetSimulator(source, shared_store=not args.no_shared_store, **kwargs)
+    report = sim.run()
+    mode = "shared store" if report.shared else "isolated"
+    print(
+        f"# fleet: {args.switches} switches ({mode}), {report.events} burst "
+        f"arrivals, {report.summary['updates']} updates",
+        file=sys.stderr,
+    )
+    print(
+        f"# latency: p50 {report.latency_quantile(0.5):.2f} ms, "
+        f"p99 {report.latency_quantile(0.99):.2f} ms; "
+        f"{report.summary['recompilations']} recompilations",
+        file=sys.stderr,
+    )
+    if sim.store is not None:
+        print(f"# {sim.store.describe()}", file=sys.stderr)
+    ratio = None
+    exit_code = 0
+    if args.check_isolated:
+        isolated = FleetSimulator(source, shared_store=False, **kwargs)
+        isolated_report = isolated.run()
+        if (
+            report.lowered_traces() != isolated_report.lowered_traces()
+            or report.specialized_sources()
+            != isolated_report.specialized_sources()
+        ):
+            print(
+                "# DIFFERENTIAL FAILURE: shared-store replay diverges from "
+                "isolated engines",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            ratio = dedup_ratio(isolated_report, report)
+            print(
+                f"# differential OK; CNF dedup ratio "
+                f"{ratio:.2f}x ({isolated_report.fragment_footprint} isolated "
+                f"fragments vs {report.fragment_footprint} shared)",
+                file=sys.stderr,
+            )
+    if args.snapshot_dir:
+        paths = sim.save_snapshots(args.snapshot_dir)
+        print(f"# wrote {len(paths)} snapshots to {args.snapshot_dir}", file=sys.stderr)
+    if args.json:
+        payload = {
+            "switches": args.switches,
+            "shared_store": report.shared,
+            "events": report.events,
+            "updates": report.summary["updates"],
+            "recompilations": report.summary["recompilations"],
+            "p50_ms": report.latency_quantile(0.5),
+            "p99_ms": report.latency_quantile(0.99),
+            "fragment_footprint": report.fragment_footprint,
+            "dedup_ratio": ratio,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"# wrote {args.json}", file=sys.stderr)
+    return exit_code
+
+
 def cmd_corpus(_args) -> int:
     from repro.programs import registry
 
@@ -269,6 +364,63 @@ def build_parser() -> argparse.ArgumentParser:
         "exists (default: error)",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_fleet = sub.add_parser(
+        "fleet-replay",
+        help="replay correlated churn over a multi-switch fleet",
+    )
+    p_fleet.add_argument("program")
+    p_fleet.add_argument("--switches", type=int, default=8)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--duration", type=float, default=120.0, help="trace length, seconds"
+    )
+    p_fleet.add_argument(
+        "--mean-interval",
+        type=float,
+        default=10.0,
+        help="mean seconds between churn bursts (Poisson)",
+    )
+    p_fleet.add_argument(
+        "--correlation",
+        type=float,
+        default=0.7,
+        help="probability a burst reaches each other switch (0..1)",
+    )
+    p_fleet.add_argument("--updates-per-burst", type=int, default=6)
+    p_fleet.add_argument(
+        "--divergent-prefix",
+        type=int,
+        default=10,
+        help="per-switch config prefix length (switch i gets prefix+i updates)",
+    )
+    p_fleet.add_argument(
+        "--no-shared-store",
+        action="store_true",
+        help="run every switch fully isolated (the sharing ablation)",
+    )
+    p_fleet.add_argument(
+        "--check-isolated",
+        action="store_true",
+        help="also run the isolated fleet and fail unless per-switch "
+        "lowered output is identical (reports the CNF dedup ratio)",
+    )
+    p_fleet.add_argument(
+        "--snapshot-dir", help="write per-switch warm snapshots here"
+    )
+    p_fleet.add_argument("--json", help="write a JSON summary here")
+    p_fleet.add_argument("--skip-parser", action="store_true")
+    p_fleet.add_argument("--no-fdd-gate", action="store_true")
+    p_fleet.add_argument("--workers", type=int, default=1)
+    p_fleet.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default=None
+    )
+    p_fleet.add_argument(
+        "--target",
+        default="tofino",
+        help=f"device backend: {', '.join(available_targets())}, or none",
+    )
+    p_fleet.set_defaults(func=cmd_fleet_replay)
 
     p_corpus = sub.add_parser("corpus", help="list bundled programs")
     p_corpus.set_defaults(func=cmd_corpus)

@@ -137,6 +137,14 @@ class EngineContext:
     # first ``apply_batch`` — both are fixed per program, so this never
     # invalidates.
     batch_components: Optional[dict] = None
+    # Fleet shared store (a repro.fleet.store.SharedStore, or None when the
+    # engine runs standalone).  ``store_hit`` records whether the cold
+    # pipeline adopted a donated entry instead of computing its own.
+    store: Optional[object] = None
+    store_hit: bool = False
+    # Warm-state snapshot being restored (a snapshot blob dict); consumed
+    # by the RestorePass and cleared afterwards.
+    restore_blob: Optional[dict] = None
     # Bookkeeping.
     timings: EngineTimings = field(default_factory=EngineTimings)
     update_log: list = field(default_factory=list)

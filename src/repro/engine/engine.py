@@ -20,6 +20,7 @@ from repro.engine.events import (
     EventBus,
     GateActivity,
     SolverActivity,
+    StoreActivity,
     UpdateLowered,
     UpdateProcessed,
 )
@@ -29,6 +30,7 @@ from repro.engine.pipeline import (
     UpdateDecision,
     WarmState,
     cold_passes,
+    restore_passes,
     warm_passes,
 )
 from repro.ir.metrics import CacheReport
@@ -49,6 +51,8 @@ class Engine:
         env=None,
         device_compiler=_UNSET,
         bus: Optional[EventBus] = None,
+        store=None,
+        restore_blob: Optional[dict] = None,
     ) -> None:
         if program is None and source is None:
             raise ValueError("Engine needs a program or a source string")
@@ -59,6 +63,8 @@ class Engine:
             source=source,
             program=program,
             env=env,
+            store=store,
+            restore_blob=restore_blob,
         )
         if device_compiler is _UNSET:
             # Eager validation: an unknown target name fails here, with the
@@ -68,12 +74,15 @@ class Engine:
             self.ctx.target = device_compiler
 
         start = time.perf_counter()
-        self._cold = PassManager(cold_passes())
+        self._cold = PassManager(
+            restore_passes() if restore_blob is not None else cold_passes()
+        )
         self._warm = {
             mode: PassManager(warm_passes(mode))
             for mode in ("update", "value_set", "batch")
         }
         self._cold.run(self.ctx)
+        self._settle_store()
         total = time.perf_counter() - start
         self.ctx.timings.initial_specialization_seconds = max(
             0.0,
@@ -81,6 +90,62 @@ class Engine:
             - self.ctx.timings.parse_seconds
             - self.ctx.timings.prune_seconds
             - self.ctx.timings.data_plane_analysis_seconds,
+        )
+
+    def _settle_store(self) -> None:
+        """Donate to (or report adoption from) the attached shared store."""
+        ctx = self.ctx
+        if ctx.store is None or ctx.source is None:
+            return
+        if not ctx.store_hit:
+            entry = ctx.store.donate(ctx)
+        else:
+            entry = ctx.store.get(ctx.source, ctx.options)
+        if ctx.bus.active and entry is not None:
+            ctx.bus.emit(
+                StoreActivity(
+                    key=entry.key,
+                    hit=ctx.store_hit,
+                    shared_fragments=entry.encoder.fragment_count,
+                )
+            )
+
+    # -- warm-state snapshot ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """This engine's warm state as one picklable blob.
+
+        See :mod:`repro.engine.snapshot` for the wire format and the
+        invalidation rules.  Restore with :meth:`Engine.restore`.
+        """
+        from repro.engine.snapshot import snapshot_context
+
+        return snapshot_context(self.ctx)
+
+    @classmethod
+    def restore(
+        cls,
+        blob: dict,
+        *,
+        store=None,
+        bus: Optional[EventBus] = None,
+        device_compiler=_UNSET,
+    ) -> "Engine":
+        """Rebuild a warm engine from a :meth:`snapshot` blob.
+
+        The blob carries its own source and options, so the restored
+        engine is guaranteed to re-derive the exact program the warm
+        state was snapshotted against; an optional shared ``store``
+        short-circuits the cold front half the same way it does for a
+        fresh engine.
+        """
+        return cls(
+            options=blob["options"],
+            source=blob["source"],
+            bus=bus,
+            store=store,
+            device_compiler=device_compiler,
+            restore_blob=blob,
         )
 
     # -- update processing -----------------------------------------------------

@@ -160,6 +160,36 @@ class SolverActivity(Event):
     probe_us: float  # wall time inside the SAT core, µs
 
 
+@dataclass(frozen=True)
+class StoreActivity(Event):
+    """One engine's cold pipeline consulted the fleet shared store."""
+
+    key: str  # content hash of (source, cold-relevant options)
+    hit: bool  # adopted a donated entry vs. computed and donated
+    shared_fragments: int  # encoder CNF fragments visible after attach
+
+
+@dataclass(frozen=True)
+class SnapshotRestored(Event):
+    """An engine rebuilt its warm state from a snapshot blob."""
+
+    memo_entries: int  # substitution memo entries restored
+    learned_clauses: int  # session clause-database size restored
+    witness_records: int  # gate witness fingerprints restored
+    replayed_roots: int  # encoder roots replayed (0 = attached shared)
+
+
+@dataclass(frozen=True)
+class FleetSwitchReplayed(Event):
+    """One switch finished consuming one churn burst in a fleet replay."""
+
+    switch: int
+    burst_id: int
+    update_count: int
+    recompiled: bool
+    elapsed_ms: float
+
+
 class EventBus:
     """A synchronous fan-out bus for engine events."""
 

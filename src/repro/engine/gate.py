@@ -680,6 +680,68 @@ class VerdictGate:
             grafted += 1
         return grafted
 
+    # -- warm-state snapshot --------------------------------------------------
+
+    def export_records(self, arena) -> list:
+        """Every witness record as a picklable blob (snapshot variant).
+
+        Same wire format as :meth:`export_record_delta`, but over the main
+        store's full map instead of a worker overlay — this is the gate's
+        contribution to an engine warm-state snapshot.
+        """
+        exported: list = []
+        for pid, record in self._records.map.items():
+            exported.append(
+                (
+                    pid,
+                    {
+                        "verdict": record.verdict,
+                        "term": arena.encode(record.term),
+                        "pos_model": dict(record.pos_model),
+                        "neg_model": dict(record.neg_model),
+                        "pos_keys": record.pos_keys,
+                        "neg_keys": record.neg_keys,
+                        "fp_pos": _flatten_fingerprint(record.fp_pos),
+                        "fp_neg": _flatten_fingerprint(record.fp_neg),
+                    },
+                )
+            )
+        return exported
+
+    def restore_records(
+        self, arena, records: list, hunt_failures: Optional[dict] = None
+    ) -> int:
+        """Rebuild the record map from a snapshot blob.
+
+        Precondition: ``self.state`` already replays the snapshotted
+        control plane, so each dependency table's diagram re-interns the
+        flattened leaves to the identical objects a live screen compares
+        against (leaf intern tables are keyed on ``(action, args)`` and
+        survive rebuilds).
+        """
+        self._records.map.clear()
+        restored = 0
+        for pid, blob in records:
+            if blob is None:
+                continue
+            self._records.set(
+                pid,
+                WitnessRecord(
+                    verdict=blob["verdict"],
+                    term=arena.decode(blob["term"]),
+                    pos_model=_ZeroDefault(blob["pos_model"]),
+                    neg_model=_ZeroDefault(blob["neg_model"]),
+                    pos_keys=blob["pos_keys"],
+                    neg_keys=blob["neg_keys"],
+                    fp_pos=self._intern_fingerprint(pid, blob["fp_pos"]),
+                    fp_neg=self._intern_fingerprint(pid, blob["fp_neg"]),
+                ),
+            )
+            restored += 1
+        if hunt_failures is not None:
+            self._hunt_failures = dict(hunt_failures)
+        return restored
+
     def _intern_fingerprint(self, pid: str, flattened: tuple) -> tuple:
         """Rebuild a fingerprint, re-interning leaves per dependency table.
 

@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.analysis.symexec import analyze
 from repro.engine.context import EngineContext, SolverBudget
-from repro.engine.events import TargetCompiled
+from repro.engine.events import SnapshotRestored, TargetCompiled
 from repro.engine.gate import VerdictGate
 from repro.engine.queries import QueryEngine
 from repro.engine.specialize import Specializer
@@ -115,8 +115,19 @@ class WarmState:
 # ---------------------------------------------------------------------------
 
 
+def _store_entry(ctx: EngineContext):
+    """The shared-store entry backing this context, or None."""
+    if ctx.store is None or ctx.source is None:
+        return None
+    return ctx.store.get(ctx.source, ctx.options)
+
+
 class ParsePass:
-    """``ctx.source`` → ``ctx.program`` (skipped when a program was given)."""
+    """``ctx.source`` → ``ctx.program`` (skipped when a program was given).
+
+    With a shared store attached, a content-hash hit adopts the donated
+    (already-pruned) AST and type environment instead of re-parsing.
+    """
 
     name = "parse"
     stage = "cold"
@@ -124,6 +135,14 @@ class ParsePass:
     def run(self, ctx: EngineContext) -> None:
         if ctx.program is not None:
             return
+        if ctx.store is not None and ctx.source is not None:
+            entry = ctx.store.lookup(ctx.source, ctx.options)
+            if entry is not None:
+                ctx.store_hit = True
+                ctx.program = entry.program
+                ctx.env = entry.env
+                ctx.prune_report = entry.prune_report
+                return
         start = time.perf_counter()
         ctx.program = parse_program(ctx.source)
         ctx.timings.parse_seconds = time.perf_counter() - start
@@ -157,6 +176,8 @@ class PrunePass:
     def run(self, ctx: EngineContext) -> None:
         from repro.analysis.dataflow.prune import prune_program
 
+        if ctx.store_hit:
+            return  # the adopted AST is already pruned
         if not ctx.options.prune or ctx.options.effort == "none":
             return
         start = time.perf_counter()
@@ -186,8 +207,12 @@ class AnalysisPass:
 
     def run(self, ctx: EngineContext) -> None:
         options = ctx.options
-        ctx.model = analyze(ctx.program, ctx.env, skip_parser=options.skip_parser)
-        ctx.timings.data_plane_analysis_seconds = ctx.model.analysis_seconds
+        entry = _store_entry(ctx) if ctx.store_hit else None
+        if entry is not None:
+            ctx.model = entry.model
+        else:
+            ctx.model = analyze(ctx.program, ctx.env, skip_parser=options.skip_parser)
+            ctx.timings.data_plane_analysis_seconds = ctx.model.analysis_seconds
         ctx.state = ControlPlaneState(ctx.model)
         if options.solver_budget is not None:
             conflict_budget = options.solver_budget
@@ -219,6 +244,16 @@ class AnalysisPass:
         )
         ctx.query_engine.solver.max_conflicts = ctx.solver_budget.max_conflicts
         ctx.query_engine.solver.incremental = options.incremental_solver
+        if entry is not None:
+            # Share the term-pure warm layers: the program CNF (encoder),
+            # the persistent session (learned clauses included), the
+            # solver result memo, and the executability cache.  All are
+            # pure functions of hash-consed terms, so adopters and donor
+            # can interleave freely under serialized access.
+            ctx.query_engine.solver.adopt_shared(
+                entry.encoder, entry.session, entry.results
+            )
+            ctx.query_engine._exec_cache = entry.exec_cache
         ctx.specializer = Specializer(
             ctx.program,
             ctx.model,
@@ -235,12 +270,27 @@ class AnalysisPass:
 
 
 class EncodePass:
-    """Encode the initial control plane and evaluate every program point."""
+    """Encode the initial control plane and evaluate every program point.
+
+    On a shared-store hit the empty-config sweep is adopted from the
+    donor: the initial verdicts are a deterministic function of the
+    program alone, so switches 2..N skip the entire point sweep and only
+    install the donated mapping into their own substitution.
+    """
 
     name = "encode"
     stage = "cold"
 
     def run(self, ctx: EngineContext) -> None:
+        entry = _store_entry(ctx) if ctx.store_hit else None
+        if entry is not None:
+            initial = entry.initial
+            ctx.mapping.update(initial["mapping"])
+            ctx.table_assignments.update(initial["table_assignments"])
+            ctx.point_verdicts.update(initial["point_verdicts"])
+            ctx.table_verdicts.update(initial["table_verdicts"])
+            ctx.substitution.set_many(ctx.mapping)
+            return
         for name, info in ctx.model.tables.items():
             assignment = encode_table(
                 info, ctx.state.tables[name], ctx.options.overapprox_threshold
@@ -256,6 +306,39 @@ class EncodePass:
         for pid, point in ctx.model.points.items():
             ctx.point_verdicts[pid] = ctx.query_engine.point_verdict(
                 point, ctx.substitution
+            )
+
+
+class RestorePass:
+    """Rebuild warm state from ``ctx.restore_blob`` (snapshot restore).
+
+    Replaces :class:`EncodePass` in the restore pipeline: instead of the
+    empty-config sweep, the snapshotted control plane is replayed, the
+    substitution memo / solver session / term-pure memos / gate witness
+    records are reinstalled, and the snapshotted verdicts are adopted —
+    so the following specialize/lower passes reproduce the snapshotted
+    engine's current output without a single cold query.
+    """
+
+    name = "restore"
+    stage = "cold"
+
+    def run(self, ctx: EngineContext) -> None:
+        from repro.engine.snapshot import apply_snapshot
+
+        blob = ctx.restore_blob
+        if blob is None:
+            raise ValueError("RestorePass needs ctx.restore_blob")
+        restored = apply_snapshot(ctx, blob)
+        ctx.restore_blob = None
+        if ctx.bus.active:
+            ctx.bus.emit(
+                SnapshotRestored(
+                    memo_entries=restored["memo_entries"],
+                    learned_clauses=restored["learned_clauses"],
+                    witness_records=restored["witness_records"],
+                    replayed_roots=restored["replayed_roots"],
+                )
             )
 
 
@@ -420,6 +503,24 @@ def cold_passes() -> list:
     ]
 
 
+def restore_passes() -> list:
+    """The snapshot-restore pipeline: cold front half, then warm reinstall.
+
+    Parse/typecheck/prune/analysis re-derive the program-pure artifacts
+    (or adopt them from a shared store); :class:`RestorePass` replaces
+    the encode sweep with the snapshot's warm state.
+    """
+    return [
+        ParsePass(),
+        TypeCheckPass(),
+        PrunePass(),
+        AnalysisPass(),
+        RestorePass(),
+        SpecializePass(),
+        LowerPass(),
+    ]
+
+
 def warm_passes(mode: str) -> list:
     """The warm path for one update mode.
 
@@ -445,6 +546,7 @@ __all__ = [
     "LowerPass",
     "ParsePass",
     "RespecializePass",
+    "RestorePass",
     "ReverdictPointsPass",
     "ReverdictTablesPass",
     "SpecializePass",
@@ -453,5 +555,6 @@ __all__ = [
     "WarmLowerPass",
     "WarmState",
     "cold_passes",
+    "restore_passes",
     "warm_passes",
 ]

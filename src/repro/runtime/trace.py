@@ -15,6 +15,21 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
+
+def _rng(seed: int, *scope: object) -> random.Random:
+    """A seeded generator whose stream is stable across runs and platforms.
+
+    Seeding with ``(seed, kind).__hash__()`` — the historical scheme —
+    leaks Python's per-process string-hash randomization into the trace:
+    the same seed produced *different* traces between interpreter runs
+    unless ``PYTHONHASHSEED`` happened to be pinned.  Fleet replay
+    correctness (same trace on every switch, every run, every machine)
+    needs real determinism, so scope the seed with a string instead:
+    ``random.Random`` hashes ``str`` seeds with SHA-512, which is
+    platform- and process-independent.
+    """
+    return random.Random(":".join(str(part) for part in (seed, *scope)))
+
 # Canonical input classes, ordered from slowest- to fastest-changing.
 SOURCE_CHANGE = "data-plane-source"
 POLICY_CHANGE = "control-plane-policy"
@@ -64,7 +79,7 @@ def generate_events(
     few seconds (§1, citing SWIFT/B4) — model that with ``burst_size`` > 1
     and a small ``burst_spread``.
     """
-    rng = random.Random((seed, kind).__hash__())
+    rng = _rng(seed, kind)
     now = 0.0
     burst_id = 0
     while True:
@@ -105,6 +120,75 @@ def control_plane_trace(
     return events
 
 
+@dataclass(frozen=True)
+class FleetEvent:
+    """One switch's share of a (possibly network-wide) churn burst."""
+
+    time: float  # seconds since trace start, at this switch
+    switch: int
+    kind: str
+    burst_id: int
+    #: Switches the burst reached, in arrival order (origin first).  The
+    #: same tuple is carried by every member event of one burst, so a
+    #: consumer can recover the correlation structure without a join.
+    members: tuple = ()
+
+
+def fleet_trace(
+    switches: int,
+    duration: float = 600.0,
+    mean_interval: float = 60.0,
+    correlation: float = 0.7,
+    propagation_spread: float = 2.0,
+    kind: str = ROUTE_CHANGE,
+    seed: int = 0,
+) -> list[FleetEvent]:
+    """Cross-switch correlated churn: one BGP-style burst, many switches.
+
+    The paper's fleet premise is that control-plane churn is *correlated*
+    across a network: a route flap does not update one switch, it sweeps
+    through every switch whose RIB carries the prefix.  Bursts arrive as a
+    Poisson process (``mean_interval``); each burst originates at one
+    switch and reaches every other switch independently with probability
+    ``correlation``, delayed by a small propagation jitter (uniform in
+    ``[0, propagation_spread]``) — ``correlation=0`` degenerates to
+    independent per-switch churn, ``correlation=1`` to lockstep fleet-wide
+    recompile storms.
+
+    Deterministic: the same arguments produce the same trace on every
+    run and platform (see :func:`_rng`).  Events are returned sorted by
+    ``(time, switch)``.
+    """
+    if switches <= 0:
+        raise ValueError("fleet_trace needs at least one switch")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation must be in [0, 1], got {correlation}")
+    rng = _rng(seed, "fleet", kind, switches)
+    events: list[FleetEvent] = []
+    now = 0.0
+    burst_id = 0
+    while True:
+        now += rng.expovariate(1.0 / mean_interval)
+        if now >= duration:
+            break
+        burst_id += 1
+        origin = rng.randrange(switches)
+        arrivals: list[tuple[float, int]] = [(now, origin)]
+        for switch in range(switches):
+            if switch == origin:
+                continue
+            if rng.random() < correlation:
+                delay = rng.uniform(0.0, propagation_spread)
+                if now + delay < duration:
+                    arrivals.append((now + delay, switch))
+        arrivals.sort()
+        members = tuple(switch for _, switch in arrivals)
+        for time_at, switch in arrivals:
+            events.append(FleetEvent(time_at, switch, kind, burst_id, members))
+    events.sort(key=lambda e: (e.time, e.switch))
+    return events
+
+
 def measure_classes(
     duration: float = 3600.0, seed: int = 0, packet_sample: int = 10_000
 ) -> list[ClassStats]:
@@ -124,7 +208,7 @@ def measure_classes(
         mean = DEFAULT_MEAN_INTERVALS[kind]
         if sample is not None:
             # Sample `sample` packet inter-arrivals directly.
-            rng = random.Random((seed, kind).__hash__())
+            rng = _rng(seed, kind)
             intervals = [rng.expovariate(1.0 / mean) for _ in range(sample)]
         else:
             events = list(

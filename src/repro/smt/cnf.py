@@ -368,6 +368,15 @@ class FragmentBitBlaster(BitBlaster):
         self._stack: list[_Fragment] = []
         self._bool_frags: dict[Term, _Fragment] = {}
         self._bv_frags: dict[Term, _Fragment] = {}
+        # Top-level encode calls, in order (``(is_bool, term)``, first call
+        # per term only).  Encoding is a deterministic structural recursion
+        # over hash-consed terms, so replaying this log into a fresh
+        # blaster — :func:`replay_encoder` — reproduces the variable
+        # numbering and fragment graph *exactly*.  That replayability is
+        # what makes a :class:`~repro.smt.session.SolverSession` snapshot
+        # restorable in a process that no longer has the original encoder.
+        self._roots: list[tuple[bool, Term]] = []
+        self._root_set: set[tuple[bool, Term]] = set()
         # The shared true-literal and its defining clause live in a
         # preamble included in every cone (a plain BitBlaster would emit
         # it inside whichever fragment happened to be open first).
@@ -377,6 +386,26 @@ class FragmentBitBlaster(BitBlaster):
     @property
     def var_count(self) -> int:
         return self.solver.num_vars
+
+    @property
+    def fragment_count(self) -> int:
+        """Distinct Tseitin fragments encoded so far (dedup observability)."""
+        return len(self._bool_frags) + len(self._bv_frags)
+
+    def encode_roots(self) -> list[tuple[bool, Term]]:
+        """The top-level encode log (is_bool, term), in call order."""
+        return list(self._roots)
+
+    def _log_root(self, is_bool: bool, term: Term) -> None:
+        # Only genuinely top-level calls shape the allocation order; a
+        # repeat (or a root already encoded as some other root's subterm)
+        # is a numbering no-op, so logging its first top-level occurrence
+        # is enough to replay the exact variable sequence.
+        if not self._stack:
+            key = (is_bool, term)
+            if key not in self._root_set:
+                self._root_set.add(key)
+                self._roots.append(key)
 
     def _record(self, clause: list[int]) -> None:
         if self._stack:
@@ -406,11 +435,13 @@ class FragmentBitBlaster(BitBlaster):
     def encode_bool(self, term: Term) -> int:
         if not term.is_bool:
             raise T.SortError("encode_bool expects a boolean term")
+        self._log_root(True, term)
         return self._encode_fragment(term, self._bool_frags, self._encode_bool_node)
 
     def encode_bv(self, term: Term) -> list[int]:
         if not term.is_bv:
             raise T.SortError("encode_bv expects a bitvector term")
+        self._log_root(False, term)
         bits = self._encode_fragment(term, self._bv_frags, self._encode_bv_node)
         if len(bits) != term.width:
             raise AssertionError(
@@ -436,6 +467,8 @@ class FragmentBitBlaster(BitBlaster):
         twin._bool_frags = dict(self._bool_frags)
         twin._bv_frags = dict(self._bv_frags)
         twin._preamble = list(self._preamble)
+        twin._roots = list(self._roots)
+        twin._root_set = set(self._root_set)
         return twin
 
     def cone_clauses(self, term: Term) -> list[list[int]]:
@@ -471,6 +504,46 @@ class FragmentBitBlaster(BitBlaster):
                 (1 << i) for i, lit in enumerate(bits) if model.get(lit, False)
             )
         return values
+
+
+def replay_encoder(
+    roots: list[tuple[bool, Term]],
+    counter: Optional[CacheCounter] = None,
+) -> FragmentBitBlaster:
+    """Rebuild a :class:`FragmentBitBlaster` from an encode-root log.
+
+    Encoding is a pure structural recursion, so replaying the same roots
+    in the same order reproduces the original's variable numbering and
+    fragment graph exactly — the precondition
+    :meth:`~repro.smt.session.SolverSession.restore` places on its
+    encoder.  Used by the warm-state snapshot layer to resurrect a
+    session's encoder in a process that never ran the original queries.
+    """
+    encoder = FragmentBitBlaster(counter)
+    for is_bool, term in roots:
+        if is_bool:
+            encoder.encode_bool(term)
+        else:
+            encoder.encode_bv(term)
+    return encoder
+
+
+def roots_compatible(
+    encoder: FragmentBitBlaster, roots: list[tuple[bool, Term]]
+) -> bool:
+    """Does ``encoder`` present the fragment graph ``roots`` describes?
+
+    True iff ``roots`` is a prefix of the encoder's own root log (term
+    comparison is identity — both sides intern through the default
+    factory).  Fragment numbering is append-only, so an encoder that has
+    encoded *more* roots since the log was taken still presents every
+    fragment/variable the log's session knew, unchanged — a shared-store
+    encoder extended by sibling switches stays attachable.
+    """
+    log = encoder._roots
+    if len(log) < len(roots):
+        return False
+    return all(log[i] == root for i, root in enumerate(roots))
 
 
 def assert_term(blaster: BitBlaster, term: Term) -> None:

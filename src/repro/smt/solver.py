@@ -166,6 +166,10 @@ class Solver:
         self._results: dict[Term, SatResult] = {}
         self._encoder = FragmentBitBlaster(self.cnf_counter)
         self._session = SolverSession(self._encoder)
+        #: Set by :meth:`adopt_shared`: the encoder is owned by a shared
+        #: store, so the var-limit generation reset must never swap it out
+        #: from under the other solvers attached to it.
+        self._encoder_pinned = False
 
     # Legacy name: the budget used to be counted in decisions.  CDCL makes
     # decisions nearly free; conflicts are the honest unit of work.
@@ -184,6 +188,7 @@ class Solver:
     def _reset_encoder(self) -> None:
         self._encoder = FragmentBitBlaster(self.cnf_counter)
         self._session = SolverSession(self._encoder)
+        self._encoder_pinned = False
 
     def invalidate_caches(self) -> None:
         """Drop the result memo, fragment cache, and solver session."""
@@ -232,7 +237,10 @@ class Solver:
         try:
             if not self.share_encodings:
                 return self._solve_fresh(simplified)
-            if self._encoder.var_count > self.ENCODER_VAR_LIMIT:
+            if (
+                not self._encoder_pinned
+                and self._encoder.var_count > self.ENCODER_VAR_LIMIT
+            ):
                 self.cnf_counter.invalidate()
                 self._reset_encoder()
             if self.incremental:
@@ -298,6 +306,30 @@ class Solver:
         model = solver.model() or {}
         global_model = {var: model.get(mapped, False) for var, mapped in local.items()}
         return SatResult(True, encoder.decode_model(simplified, global_model))
+
+    # -- shared-store adoption -------------------------------------------------
+
+    def adopt_shared(
+        self,
+        encoder: FragmentBitBlaster,
+        session: Optional[SolverSession] = None,
+        results: Optional[dict[Term, SatResult]] = None,
+    ) -> None:
+        """Attach this solver to store-owned warm state.
+
+        ``encoder`` (and optionally ``session`` and the result memo) come
+        from a fleet shared store; every cache involved is a pure function
+        of hash-consed terms, so sharing them across engine instances is
+        sound as long as access is serialized (the fleet simulator is a
+        single-threaded discrete-event loop).  The encoder is pinned:
+        generation resets are disabled so sibling solvers never see their
+        fragment numbering invalidated.
+        """
+        self._encoder = encoder
+        self._session = session if session is not None else SolverSession(encoder)
+        if results is not None:
+            self._results = results
+        self._encoder_pinned = True
 
     # -- batch-worker forking --------------------------------------------------
 

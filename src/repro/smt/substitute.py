@@ -122,17 +122,20 @@ class DeltaSubstitution:
     other entries — in practice the overwhelming majority of every program
     point's DAG — are reused by identity.
 
-    Internally the memo (``id(term) → substituted term``) is paired with a
-    dependency index (``variable name → ids of memo entries that mention
-    it``) built from :func:`variable_dependencies` during :meth:`apply`.
+    Internally the memo (``term → substituted term``) is paired with a
+    dependency index (``variable name → memo keys that mention it``)
+    built from :func:`variable_dependencies` during :meth:`apply`.
     :meth:`set_many` diffs the new assignments against the old ones by
     term identity (hash-consing makes semantically-identical re-encodings
     the same object) and drops exactly the dependent entries.
 
-    The memo keys ids of interned terms; the mapping dict itself keys
-    :class:`Term` objects, so every keyed term is strongly referenced
-    either here or by its factory (see the interning invariant in
-    :mod:`repro.smt.terms`).
+    The memo keys interned :class:`Term` objects directly (their hash is
+    the precomputed structural hash and equality is identity, so lookups
+    cost the same as the historical ``id()`` keying) — which is what
+    makes the memo *exportable*: a snapshot can walk ``_memo.items()``
+    and ship both sides through a
+    :class:`~repro.smt.arena.TermArena`, something ``id``-keyed entries
+    could never recover the key term for.
     """
 
     def __init__(
@@ -142,8 +145,8 @@ class DeltaSubstitution:
     ) -> None:
         self.counter = counter if counter is not None else CacheCounter("substitution")
         self._mapping: dict[Term, Term] = {}
-        self._memo: dict[int, Term] = {}
-        self._index: dict[str, set[int]] = {}
+        self._memo: dict[Term, Term] = {}
+        self._index: dict[str, set[Term]] = {}
         self.set_many(mapping)
 
     def __len__(self) -> int:
@@ -180,19 +183,19 @@ class DeltaSubstitution:
             self._mapping[var] = replacement
             changed_vars.append(var)
             changed_names.append(var.payload)
-        stale: set[int] = set()
+        stale: set[Term] = set()
         for name in changed_names:
             stale |= self._index.pop(name, set())
         memo = self._memo
         dropped = 0
-        for term_id in stale:
-            if memo.pop(term_id, None) is not None:
+        for term in stale:
+            if memo.pop(term, None) is not None:
                 dropped += 1
         # (Re-)seed the memo with the variables' own entries last, so the
         # invalidation sweep above cannot clobber a fresh assignment.
         for var in changed_vars:
-            memo[id(var)] = self._mapping[var]
-            self._index.setdefault(var.payload, set()).add(id(var))
+            memo[var] = self._mapping[var]
+            self._index.setdefault(var.payload, set()).add(var)
         self.counter.invalidate(dropped)
         return dropped
 
@@ -209,31 +212,76 @@ class DeltaSubstitution:
         """Replace mapped variables throughout ``term`` (no simplification)."""
         memo = self._memo
         index = self._index
-        if id(term) in memo:
+        if term in memo:
             self.counter.hit()
-            return memo[id(term)]
+            return memo[term]
         self.counter.miss()
         stack: list[tuple[Term, bool]] = [(term, False)]
         while stack:
             node, expanded = stack.pop()
-            if id(node) in memo:
+            if node in memo:
                 continue
             if not node.args:
-                memo[id(node)] = node
+                memo[node] = node
                 if node.is_var:
-                    index.setdefault(node.payload, set()).add(id(node))
+                    index.setdefault(node.payload, set()).add(node)
                 continue
             if not expanded:
                 stack.append((node, True))
                 for child in node.args:
-                    if id(child) not in memo:
+                    if child not in memo:
                         stack.append((child, False))
                 continue
-            new_args = tuple(memo[id(child)] for child in node.args)
-            memo[id(node)] = _rebuild_with_args(node, new_args)
+            new_args = tuple(memo[child] for child in node.args)
+            memo[node] = _rebuild_with_args(node, new_args)
             for name in variable_dependencies(node):
-                index.setdefault(name, set()).add(id(node))
-        return memo[id(term)]
+                index.setdefault(name, set()).add(node)
+        return memo[term]
+
+    # -- snapshot export / import ----------------------------------------------
+
+    def export_state(self, arena) -> dict:
+        """A picklable blob of the mapping, memo, and dependency index.
+
+        Every term (keys and values alike) rides in ``arena`` (a
+        :class:`~repro.smt.arena.TermArena`); :meth:`import_state`
+        re-interns them through the receiving process's default factory,
+        so identity-based invalidation keeps working after a restore.
+        """
+        return {
+            "mapping": [
+                (arena.encode(var), arena.encode(replacement))
+                for var, replacement in self._mapping.items()
+            ],
+            "memo": [
+                (arena.encode(key), arena.encode(value))
+                for key, value in self._memo.items()
+            ],
+            "index": {
+                name: [arena.encode(term) for term in terms]
+                for name, terms in self._index.items()
+            },
+        }
+
+    def import_state(self, arena, blob: dict) -> int:
+        """Install an :meth:`export_state` blob; returns the memo size.
+
+        The blob replaces this substitution's mapping/memo/index
+        wholesale — callers restore into a freshly constructed (empty)
+        instance.
+        """
+        self._mapping = {
+            arena.decode(var): arena.decode(replacement)
+            for var, replacement in blob["mapping"]
+        }
+        self._memo = {
+            arena.decode(key): arena.decode(value) for key, value in blob["memo"]
+        }
+        self._index = {
+            name: {arena.decode(idx) for idx in indices}
+            for name, indices in blob["index"].items()
+        }
+        return len(self._memo)
 
 
 class SubstitutionSlice:
@@ -259,23 +307,23 @@ class SubstitutionSlice:
 
     def __init__(self, shared: "DeltaSubstitution") -> None:
         self._shared = shared
-        self._memo: dict[int, Term] = {}
-        self._index: dict[str, set[int]] = {}
+        self._memo: dict[Term, Term] = {}
+        self._index: dict[str, set[Term]] = {}
         self._mapping: dict[Term, Term] = {}
-        self._shadowed: set[int] = set()
+        self._shadowed: set[Term] = set()
         self.counter = CacheCounter("substitution")
 
     @property
     def delta_size(self) -> int:
         return len(self._memo)
 
-    def _lookup(self, term_id: int) -> Optional[Term]:
-        found = self._memo.get(term_id)
+    def _lookup(self, term: Term) -> Optional[Term]:
+        found = self._memo.get(term)
         if found is not None:
             return found
-        if term_id in self._shadowed:
+        if term in self._shadowed:
             return None
-        return self._shared._memo.get(term_id)
+        return self._shared._memo.get(term)
 
     def set_many(self, mapping: Mapping[Term, Term]) -> int:
         """Install this group's assignments without touching shared state."""
@@ -293,21 +341,21 @@ class SubstitutionSlice:
             changed_names.append(var.payload)
         dropped = 0
         for name in changed_names:
-            for term_id in self._index.pop(name, set()):
-                if self._memo.pop(term_id, None) is not None:
+            for term in self._index.pop(name, set()):
+                if self._memo.pop(term, None) is not None:
                     dropped += 1
             shared_stale = self._shared._index.get(name)
             if shared_stale:
                 self._shadowed |= shared_stale
         for var in changed_vars:
-            self._memo[id(var)] = self._mapping[var]
-            self._index.setdefault(var.payload, set()).add(id(var))
+            self._memo[var] = self._mapping[var]
+            self._index.setdefault(var.payload, set()).add(var)
         self.counter.invalidate(dropped)
         return dropped
 
     def apply(self, term: Term) -> Term:
         """Replace mapped variables throughout ``term`` (no simplification)."""
-        cached = self._lookup(id(term))
+        cached = self._lookup(term)
         if cached is not None:
             self.counter.hit()
             return cached
@@ -317,24 +365,24 @@ class SubstitutionSlice:
         stack: list[tuple[Term, bool]] = [(term, False)]
         while stack:
             node, expanded = stack.pop()
-            if self._lookup(id(node)) is not None:
+            if self._lookup(node) is not None:
                 continue
             if not node.args:
-                memo[id(node)] = node
+                memo[node] = node
                 if node.is_var:
-                    index.setdefault(node.payload, set()).add(id(node))
+                    index.setdefault(node.payload, set()).add(node)
                 continue
             if not expanded:
                 stack.append((node, True))
                 for child in node.args:
-                    if self._lookup(id(child)) is None:
+                    if self._lookup(child) is None:
                         stack.append((child, False))
                 continue
-            new_args = tuple(self._lookup(id(child)) for child in node.args)
-            memo[id(node)] = _rebuild_with_args(node, new_args)
+            new_args = tuple(self._lookup(child) for child in node.args)
+            memo[node] = _rebuild_with_args(node, new_args)
             for name in variable_dependencies(node):
-                index.setdefault(name, set()).add(id(node))
-        return self._lookup(id(term))
+                index.setdefault(name, set()).add(node)
+        return self._lookup(term)
 
 
 def _absorb_slice(shared: "DeltaSubstitution", piece: SubstitutionSlice) -> int:
@@ -348,12 +396,12 @@ def _absorb_slice(shared: "DeltaSubstitution", piece: SubstitutionSlice) -> int:
     shared.set_many(piece._mapping)
     memo = shared._memo
     grafted = 0
-    for term_id, term in piece._memo.items():
-        if term_id not in memo:
-            memo[term_id] = term
+    for key, term in piece._memo.items():
+        if key not in memo:
+            memo[key] = term
             grafted += 1
-    for name, ids in piece._index.items():
-        shared._index.setdefault(name, set()).update(ids)
+    for name, keys in piece._index.items():
+        shared._index.setdefault(name, set()).update(keys)
     shared.counter.hit(piece.counter.hits)
     shared.counter.miss(piece.counter.misses)
     shared.counter.invalidate(piece.counter.invalidations)
