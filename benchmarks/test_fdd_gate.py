@@ -8,12 +8,15 @@ fingerprints — a handful of FDD lookups per point.  This bench measures
 exactly that regime on the ``switch`` program: saturate a few tables so
 their dependent points go MAYBE and harvest witnesses, then time the
 verdict phase of a disjoint-heavy insert stream with the gate on and
-off.  A scion stream rides along for the cross-program picture (its
-records sit mostly on parser points the warm path never re-verdicts, so
-the gate is close to neutral there — the bench records it anyway).
+off.  A scion stream rides along for the cross-program picture: its
+value points carry monster rewrite terms past the hunt cap, so the gate
+used to regress there (0.70× in the ISSUE 6 artifact) until the tier-2b
+pool harvest gave hunt-retired points solver-seeded witness pairs — now
+both programs must be a win.
 
-Acceptance (ISSUE 6): gated verdict throughput ≥ 5× ungated on the
-disjoint stream, with ≥ 80% of screens resolved without a solver probe.
+Acceptance (ISSUE 6, floors raised by ISSUE 10): gated verdict
+throughput ≥ 5× ungated on the disjoint switch stream with ≥ 80% of
+screens solver-free, and ≥ 1.2× on the scion stream.
 
 Set ``GATE_BENCH_JSON=/path/out.json`` to dump the measured numbers and
 per-layer gate counters (CI uploads that file as an artifact).
@@ -30,11 +33,11 @@ from repro.runtime.fuzzer import EntryFuzzer
 # ``tools/check_bench.py`` against the committed BENCH_6.json).
 SWITCH_SPEEDUP_FLOOR = 5.0
 SWITCH_SOLVER_FREE_FLOOR = 0.8
-# The scion stream lands mostly on parser points the warm path never
-# re-verdicts, so the gate is near-neutral there: BENCH_6 records the
-# speedup at ≈ 0.78×.  The floor pins "near-neutral" — a drop below
-# 0.6× would mean gate bookkeeping started costing real verdict time.
-SCION_SPEEDUP_FLOOR = 0.6
+# Scion's hot value points are monster rewrite terms the probe-pattern
+# hunt retires; the tier-2b pool (entry-directed solver seeding) turns
+# them into witness replays, so the gate must now *win* on scion too —
+# the floor pins the win, not mere neutrality.
+SCION_SPEEDUP_FLOOR = 1.2
 
 SWITCH_TABLES = [
     "SwitchIngress.nat_table",
@@ -88,17 +91,26 @@ def disjoint_stream(flay, tables, seed=STREAM_SEED, count=STREAM_COUNT):
 
 
 def run_config(program, tables, gated):
-    """(verdict_ms, calls, gate-delta stats or None, flay) for one run."""
+    """(verdict_ms, calls, warmup delta, measured delta, flay) for one run.
+
+    The gate-stat deltas are split at the warmup/measured boundary:
+    witness harvesting mostly happens while warmup saturates the tables
+    (the measured disjoint stream then *replays*), so folding both phases
+    into one delta is how the harvest counters read zero in ISSUE 6's
+    artifact.
+    """
     flay = make_flay(program, fdd_gate=gated)
+    start = flay.gate_stats() if gated else None
     for update in warmup_updates(flay):
         flay.process_update(update)
+    warm = flay.gate_stats().since(start) if gated else None
     stream = disjoint_stream(flay, tables)
     box = instrument_verdicts(flay)
     before = flay.gate_stats() if gated else None
     for update in stream:
         flay.process_update(update)
     delta = flay.gate_stats().since(before) if gated else None
-    return box["seconds"] * 1000, box["calls"], delta, flay
+    return box["seconds"] * 1000, box["calls"], warm, delta, flay
 
 
 def layer_counts(delta):
@@ -113,8 +125,10 @@ def layer_counts(delta):
 
 
 def bench_program(name, program, tables, timings):
-    gated_ms, gated_calls, delta, gated_flay = run_config(program, tables, True)
-    ungated_ms, ungated_calls, _, ungated_flay = run_config(
+    gated_ms, gated_calls, warm, delta, gated_flay = run_config(
+        program, tables, True
+    )
+    ungated_ms, ungated_calls, _, _, ungated_flay = run_config(
         program, tables, False
     )
     # The ablation contract, checked on the bench workload itself.
@@ -132,7 +146,16 @@ def bench_program(name, program, tables, timings):
     timings[f"{name}_verdict_calls_ungated"] = ungated_calls
     timings[f"{name}_screens"] = delta.screened
     timings[f"{name}_solver_free_rate"] = solver_free_rate
+    # Harvest counters, split by phase: warmup is where tables saturate
+    # and most witnesses are mined; the measured stream reports its own
+    # (usually small) top-up plus the tier-2b lazy borrows.
+    timings[f"{name}_witness_harvested_warmup"] = warm.harvested
     timings[f"{name}_witness_harvested"] = delta.harvested
+    timings[f"{name}_lazy_harvested_warmup"] = warm.lazy_harvests
+    timings[f"{name}_lazy_harvested"] = delta.lazy_harvests
+    # Structural table-verdict memo traffic during the measured stream.
+    timings[f"{name}_table_verdict_hits"] = delta.table_verdict_hits
+    timings[f"{name}_table_verdict_misses"] = delta.table_verdict_misses
     for layer, count in layer_counts(delta).items():
         timings[f"{name}_layer_{layer}"] = count
 
@@ -149,6 +172,12 @@ def bench_program(name, program, tables, timings):
     print(
         f"  solver-free: {delta.solver_free}/{delta.screened} screens "
         f"({100 * solver_free_rate:.1f}%)"
+    )
+    print(
+        f"  harvests: warmup {warm.harvested}+{warm.lazy_harvests} lazy, "
+        f"measured {delta.harvested}+{delta.lazy_harvests} lazy; "
+        f"table verdicts {delta.table_verdict_hits} memo hits / "
+        f"{delta.table_verdict_misses} misses"
     )
     return speedup, solver_free_rate
 
@@ -190,6 +219,6 @@ def test_gate_speedup_on_disjoint_stream(benchmark, corpus_programs):
 
     assert switch_speedup >= SWITCH_SPEEDUP_FLOOR
     assert switch_rate >= SWITCH_SOLVER_FREE_FLOOR
-    # The scion stream must at least not regress meaningfully (≈ 0.78×
-    # measured; see SCION_SPEEDUP_FLOOR above).
+    # The scion stream must be a real win now that tier-2b pool harvest
+    # covers its hunt-retired monster points (see SCION_SPEEDUP_FLOOR).
     assert scion_speedup >= SCION_SPEEDUP_FLOOR

@@ -92,6 +92,7 @@ def cmd_specialize(args) -> int:
         skip_parser=args.skip_parser,
         effort=args.effort,
         fdd_gate=not args.no_fdd_gate,
+        table_verdict_cache=not args.no_table_verdict_cache,
         prune=not args.no_prune,
     )
     bus = EventBus()
@@ -179,6 +180,7 @@ def cmd_fleet_replay(args) -> int:
         target=args.target,
         skip_parser=args.skip_parser,
         fdd_gate=not args.no_fdd_gate,
+        table_verdict_cache=not args.no_table_verdict_cache,
     )
     kwargs = dict(
         switches=args.switches,
@@ -307,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
         "output is byte-identical, only slower)",
     )
     p_spec.add_argument(
+        "--no-table-verdict-cache",
+        action="store_true",
+        help="disable the structural table-verdict memo (ablation; "
+        "verdicts are byte-identical, every warm re-verdict just "
+        "recomputes feasible actions and param constancy from scratch)",
+    )
+    p_spec.add_argument(
         "--no-prune",
         action="store_true",
         help="disable the abstract-interpretation prune pass between "
@@ -411,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--json", help="write a JSON summary here")
     p_fleet.add_argument("--skip-parser", action="store_true")
     p_fleet.add_argument("--no-fdd-gate", action="store_true")
+    p_fleet.add_argument("--no-table-verdict-cache", action="store_true")
     p_fleet.add_argument("--workers", type=int, default=1)
     p_fleet.add_argument(
         "--executor", choices=("serial", "thread", "process"), default=None

@@ -383,6 +383,10 @@ class LayeredCache:
     def __len__(self) -> int:
         return len(self.base) + len(self.delta)
 
+    def clear(self) -> None:
+        """Drop the overlay only (the shared base is not this view's)."""
+        self.delta.clear()
+
 
 class LayeredMemo:
     """Read-through overlay on an ``id()``-keyed memo (simplify memos)."""
@@ -441,9 +445,18 @@ class WorkerSlice:
             use_solver=shared_qe.use_solver,
             solver_node_budget=shared_qe.solver_node_budget,
             gate=gate,
+            table_verdict_cache=shared_qe.table_verdict_cache,
         )
         self.query_engine._exec_cache = LayeredCache(shared_qe._exec_cache)
         self.query_engine._simplify_memo = LayeredMemo(shared_qe._simplify_memo)
+        # The table-verdict memo layers like the exec cache: shared hits
+        # are free, slice misses land in the overlay and graft back on
+        # merge.  ``_values_memo`` stays slice-private (it may memoize
+        # ``None`` for unbounded selectors, which the layered views treat
+        # as absent; recomputing per slice is cheap and id-safe).
+        self.query_engine._table_verdict_memo = LayeredCache(
+            shared_qe._table_verdict_memo
+        )
 
     @property
     def solver_stats_delta(self) -> SolverStats:
@@ -466,12 +479,19 @@ class WorkerSlice:
         memo_entries = ctx.substitution.absorb(self.substitution)
         shared_qe = ctx.query_engine
         qe = self.query_engine
-        verdict_entries = len(qe._exec_cache.delta) + len(qe.solver._results.delta)
+        verdict_entries = (
+            len(qe._exec_cache.delta)
+            + len(qe.solver._results.delta)
+            + len(qe._table_verdict_memo.delta)
+        )
         shared_qe._exec_cache.update(qe._exec_cache.delta)
         shared_qe._simplify_memo.update(qe._simplify_memo.delta)
+        shared_qe._table_verdict_memo.update(qe._table_verdict_memo.delta)
         shared_qe.solver._results.update(qe.solver._results.delta)
         shared_qe.exec_counter.hit(qe.exec_counter.hits)
         shared_qe.exec_counter.miss(qe.exec_counter.misses)
+        shared_qe.table_verdict_counter.hit(qe.table_verdict_counter.hits)
+        shared_qe.table_verdict_counter.miss(qe.table_verdict_counter.misses)
         shared = shared_qe.solver
         shared.cache_counter.hit(qe.solver.cache_counter.hits)
         shared.cache_counter.miss(qe.solver.cache_counter.misses)
@@ -676,6 +696,13 @@ def _encode_outcome(outcome: GroupOutcome) -> dict:
             for term, result in solver._results.delta.items()
         ],
         "exec_counter": (qe.exec_counter.hits, qe.exec_counter.misses),
+        # The table-verdict memo delta itself stays behind (its keys embed
+        # child-process term identities, like the simplify memo); only the
+        # counters cross.
+        "table_verdict_counter": (
+            qe.table_verdict_counter.hits,
+            qe.table_verdict_counter.misses,
+        ),
         "cache_counter": (solver.cache_counter.hits, solver.cache_counter.misses),
         "cnf_counter": (solver.cnf_counter.hits, solver.cnf_counter.misses),
         "learned": learned,
@@ -730,6 +757,9 @@ class _RemoteSlice:
         hits, misses = payload["exec_counter"]
         shared_qe.exec_counter.hit(hits)
         shared_qe.exec_counter.miss(misses)
+        hits, misses = payload["table_verdict_counter"]
+        shared_qe.table_verdict_counter.hit(hits)
+        shared_qe.table_verdict_counter.miss(misses)
         hits, misses = payload["cache_counter"]
         shared.cache_counter.hit(hits)
         shared.cache_counter.miss(misses)

@@ -52,6 +52,12 @@ class EngineOptions:
     # simplification, and — for residual MAYBEs — the CDCL probe pair.
     # Output is byte-identical either way (``--no-fdd-gate`` ablation).
     fdd_gate: bool = True
+    # Structural table-verdict memo keyed on the active-entry digest plus
+    # selector/hit term identity; off = every warm re-verdict recomputes
+    # feasible actions, hit constancy, and per-param constancy from
+    # scratch.  Pure ablation: verdicts are byte-identical either way
+    # (``--no-table-verdict-cache``).
+    table_verdict_cache: bool = True
     # Batch executor strategy: "thread" (worker threads over the shared
     # term factory), "process" (forked worker processes shipping arena
     # payloads back — escapes the GIL), or "serial" (force inline; the
@@ -158,6 +164,7 @@ class EngineContext:
         return [
             self.substitution.counter,
             self.query_engine.exec_counter,
+            self.query_engine.table_verdict_counter,
             self.query_engine.solver.cache_counter,
             self.query_engine.solver.cnf_counter,
             self.state.active_counter,

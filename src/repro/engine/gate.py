@@ -34,7 +34,13 @@ is concretely evaluated under the stored witness models (missing
 variables default to zero, matching how the models were harvested).  If
 the positive witness still evaluates true and the negative still false,
 the verdict is MAYBE — a sound, complete-procedure-identical answer for
-the price of two term evaluations.
+the price of two term evaluations.  Successful harvests also feed a
+small per-table **witness-model pool**, and record-less points — most
+importantly hunt-retired monster value terms, which would otherwise pay
+the full slow path on every re-verdict forever — *lazily* borrow pool
+models as candidate witnesses: two that evaluate the term differently
+are a complete certificate, so the point graduates to tier-2a screening
+without ever being probe-eligible.
 
 **Tier 3 — CDCL fallback.**  The exact probe pair the ungated path runs
 (``check_sat(t)`` / ``check_sat(¬t)``), with fresh witnesses harvested
@@ -164,9 +170,13 @@ class GateStats:
     solver_fallbacks: int = 0
     budget_maybes: int = 0
     harvested: int = 0
+    lazy_harvests: int = 0
+    table_verdict_hits: int = 0
+    table_verdict_misses: int = 0
     fdd_fast_inserts: int = 0
     fdd_rebuilds: int = 0
     fdd_opaque: int = 0
+    fdd_banded: int = 0
 
     @property
     def solver_free(self) -> int:
@@ -202,12 +212,18 @@ class GateStats:
             (
                 f"solver-free: {self.solver_free} "
                 f"({100.0 * self.solver_free / screened:.1f}% of screens), "
-                f"{self.harvested} witnesses harvested, "
+                f"{self.harvested} witnesses harvested "
+                f"(+{self.lazy_harvests} lazy from the 2b pool), "
                 f"{self.budget_maybes} budget punts"
             ),
             (
+                f"table verdicts: {self.table_verdict_hits} memo hits, "
+                f"{self.table_verdict_misses} misses"
+            ),
+            (
                 f"fdd: {self.fdd_fast_inserts} fast inserts, "
-                f"{self.fdd_rebuilds} rebuilds, {self.fdd_opaque} opaque tables"
+                f"{self.fdd_rebuilds} rebuilds, {self.fdd_opaque} opaque tables, "
+                f"{self.fdd_banded} banded tables"
             ),
         ]
         return "\n".join(lines)
@@ -244,6 +260,23 @@ class VerdictGate:
         # strikes the gate stops paying for the attempt.  Purely a speed
         # decision — record absence never changes a verdict.
         self._hunt_failures: dict = {}
+        # The tier-2b witness-model pool: per dependency table, a few
+        # harvested witness models keyed by that table's key values under
+        # the model (distinct key tuples = distinct match points, which
+        # is the diversity that distinguishes value terms the fixed probe
+        # patterns cannot).  Record-less points — hunt-retired monsters
+        # included — borrow these as candidate witnesses; one successful
+        # borrow turns every later re-verdict into a tier-2a screen.
+        self._pool: dict = {}
+        self._pool_version = 0
+        # pid → (pool version, dep revisions) at the last failed borrow:
+        # a point retries at most once per pool growth or table change,
+        # so saturated pools and quiet tables cost nothing.  A few total
+        # failures retire the point from lazy attempts for good.
+        self._lazy_attempts: dict = {}
+        self._lazy_failures: dict = {}
+        # table name → revision of the last solver-assisted pool seeding.
+        self._seed_attempts: dict = {}
         self._deps: dict = {}
         for pid, point in model.points.items():
             tables: set = set()
@@ -332,7 +365,7 @@ class VerdictGate:
         if cached is not None:
             query_engine.exec_counter.hit()
             self.stats.exec_cache_hits += 1
-            self._revalidate(point, term, cached)
+            self._revalidate(point, term, cached, query_engine)
             return cached
         query_engine.exec_counter.miss()
         if (
@@ -340,7 +373,7 @@ class VerdictGate:
             or T.tree_size(term) > query_engine.solver_node_budget
         ):
             query_engine._exec_cache[term] = MAYBE
-            self._revalidate(point, term, MAYBE)
+            self._revalidate(point, term, MAYBE, query_engine)
             return MAYBE
         # Tier 1: the interval domain.  DEFINITELY_FALSE means no model
         # exists (NEVER); DEFINITELY_TRUE means no countermodel exists
@@ -386,6 +419,10 @@ class VerdictGate:
             # Same contract as the ungated path: MAYBE, not memoized.
             self.stats.budget_maybes += 1
             self._records.drop(pid)
+            # A lazy pair is still sound evidence here: term true under
+            # one model and false under another *proves* MAYBE exactly,
+            # which is the verdict the ungated retry would re-derive.
+            self._lazy_harvest(point, term, MAYBE, query_engine)
             return MAYBE
         query_engine._exec_cache[term] = verdict
         if verdict == MAYBE and positive.model is not None and negative.model is not None:
@@ -442,9 +479,22 @@ class VerdictGate:
                 return verdict
             self._records.drop(pid)
         if self._hunt_failures.get(pid, 0) >= self.HUNT_RETRY_LIMIT:
+            # Hunt-retired (typically a monster term past the size cap).
+            # The 2b pool is the retirement plan: borrow harvested
+            # witness models from this point's dependency tables and
+            # look for two that evaluate the term differently.
+            pair = self._pool_pair(pid, term, boolean=False, query_engine=query_engine)
+            if pair is not None:
+                self._store(point, term, verdict, pair[0], pair[1])
+                self.stats.lazy_harvests += 1
             return verdict
         pair = self._distinguishing_pair(term, query_engine)
         if pair is None:
+            pair = self._pool_pair(pid, term, boolean=False, query_engine=query_engine)
+            if pair is not None:
+                self._store(point, term, verdict, pair[0], pair[1])
+                self.stats.lazy_harvests += 1
+                return verdict
             self._hunt_failures[pid] = self._hunt_failures.get(pid, 0) + 1
             self._records.drop(pid)
         else:
@@ -455,6 +505,138 @@ class VerdictGate:
 
     #: Consecutive failed hunts after which a point stops being probed.
     HUNT_RETRY_LIMIT = 3
+    #: Witness models kept per dependency table in the 2b pool.
+    POOL_LIMIT = 8
+    #: Term evaluations allowed per lazy-harvest attempt.  Together with
+    #: the once-per-pool-growth retry gate this bounds what a borrow can
+    #: cost a verdict that would otherwise pay the full slow path anyway.
+    LAZY_EVAL_LIMIT = 8
+    #: Total failed lazy attempts after which a point stops borrowing.
+    LAZY_RETRY_LIMIT = 8
+
+    def _feed_pool(self, keys_by_table: dict, model: _ZeroDefault) -> None:
+        """Stash a harvested witness model in each dependency table's pool."""
+        for name, key_tuple in keys_by_table.items():
+            bucket = self._pool.get(name)
+            if bucket is None:
+                bucket = self._pool[name] = {}
+            if key_tuple not in bucket and len(bucket) < self.POOL_LIMIT:
+                bucket[key_tuple] = model
+                self._pool_version += 1
+
+    def _pool_pair(self, pid: str, term, boolean: bool, query_engine):
+        """Borrow two distinguishing witness models for a record-less point.
+
+        Candidates are the harvested models in the point's dependency
+        tables' 2b pool buckets, after topping up sparse buckets with
+        *entry-directed* seeds (:meth:`_seed_pool`).  ``boolean`` asks
+        for a (true-model, false-model) pair in that order
+        (executability points); otherwise any two models with distinct
+        evaluations do (constant-kind points).  On failure the attempt
+        signature (pool version + dependency-table revisions) is
+        remembered so the point retries only once per pool growth or
+        table change, and a few total failures retire the point from
+        lazy attempts outright.
+        """
+        dep_tables = self._deps[pid][0]
+        if self._lazy_failures.get(pid, 0) >= self.LAZY_RETRY_LIMIT:
+            return None
+        signature = (
+            self._pool_version,
+            tuple(self.state.tables[name].revision() for name in dep_tables),
+        )
+        if self._lazy_attempts.get(pid) == signature:
+            return None
+        candidates: list = []
+        candidate_ids: set = set()
+        for name in dep_tables:
+            self._seed_pool(name, query_engine)
+            bucket = self._pool.get(name)
+            if not bucket:
+                continue
+            for model in bucket.values():
+                if id(model) not in candidate_ids:
+                    candidate_ids.add(id(model))
+                    candidates.append(model)
+        seen: dict = {}
+        for model in candidates[: self.LAZY_EVAL_LIMIT]:
+            value = T.evaluate(term, model)
+            for prior_value, prior_model in seen.items():
+                if prior_value != value:
+                    if not boolean:
+                        return prior_model, model
+                    if value == 0:
+                        return prior_model, model
+                    return model, prior_model
+            seen.setdefault(value, model)
+        self._lazy_attempts[pid] = (
+            self._pool_version,
+            tuple(self.state.tables[name].revision() for name in dep_tables),
+        )
+        self._lazy_failures[pid] = self._lazy_failures.get(pid, 0) + 1
+        return None
+
+    #: Entry-directed seed queries per table per content change.
+    SEED_ENTRY_LIMIT = 3
+
+    def _seed_pool(self, name: str, query_engine) -> None:
+        """Top up a sparse pool bucket with entry-directed witness models.
+
+        Harvested solver models rarely exercise a table whose key is a
+        computed expression (unconstrained variables zero-default, so
+        every model reads the same key value).  When a bucket has fewer
+        than two distinct key points, ask the solver for models steering
+        the key *into an active entry's region* (``key == masked value``
+        — a query over the key terms only, far smaller than any point
+        term).  Any model is a sound witness candidate, so failed or
+        budget-capped queries just leave the bucket sparse.
+        """
+        from repro.runtime.entries import as_value_mask
+
+        state = self.state.tables[name]
+        revision = state.revision()
+        if self._seed_attempts.get(name) == revision:
+            return
+        self._seed_attempts[name] = revision
+        bucket = self._pool.get(name)
+        if bucket is None:
+            bucket = self._pool[name] = {}
+        if len(bucket) >= 2 or not query_engine.use_solver:
+            return
+        info = self.model.tables[name]
+        key_terms = [k.term for k in info.keys]
+        widths = info.key_widths()
+        if (
+            sum(T.tree_size(t) for t in key_terms)
+            > self.HUNT_SIZE_FACTOR * query_engine.solver_node_budget
+        ):
+            return
+        for entry in state.active_entries()[: self.SEED_ENTRY_LIMIT]:
+            if len(bucket) >= self.POOL_LIMIT:
+                break
+            points = []
+            for match, width in zip(entry.matches, widths):
+                value, mask = as_value_mask(match, width)
+                points.append(value & mask)
+            if tuple(points) in bucket:
+                continue
+            target = T.bool_and(
+                *[
+                    T.eq(k_term, T.bv_const(point, width))
+                    for k_term, point, width in zip(key_terms, points, widths)
+                ]
+            )
+            try:
+                result = query_engine.solver.check_sat(target)
+            except SolverBudgetExceeded:
+                continue
+            if not result.satisfiable or result.model is None:
+                continue
+            model = _ZeroDefault(result.model)
+            key_tuple = tuple(T.evaluate(t, model) for t in key_terms)
+            if key_tuple not in bucket:
+                bucket[key_tuple] = model
+                self._pool_version += 1
     #: Hunt-eligibility cap, as a multiple of the solver node budget.
     #: Well above the solver's own budget (the probe patterns are one
     #: evaluation each, not a search) but low enough that the hunt never
@@ -519,7 +701,7 @@ class VerdictGate:
 
     # -- record maintenance ---------------------------------------------------
 
-    def _revalidate(self, point, term, verdict: str) -> None:
+    def _revalidate(self, point, term, verdict: str, query_engine=None) -> None:
         """Refresh (or discard) the record after a non-witness decision."""
         pid = point.pid
         if verdict != MAYBE:
@@ -527,6 +709,11 @@ class VerdictGate:
             return
         record = self._records.get(pid)
         if record is None:
+            # Record-less MAYBE (over-budget term or a cached MAYBE that
+            # never had witnesses): try to build one from the 2b pool so
+            # the next re-verdict screens instead of re-substituting.
+            if query_engine is not None:
+                self._lazy_harvest(point, term, verdict, query_engine)
             return
         if record.term is not term and not (
             T.evaluate(term, record.pos_model) == 1
@@ -539,6 +726,22 @@ class VerdictGate:
             record.pos_model, record.neg_model,
             pos_keys=record.pos_keys, neg_keys=record.neg_keys,
         )
+
+    def _lazy_harvest(self, point, term, verdict: str, query_engine) -> None:
+        """Tier-2b pool harvest for a record-less MAYBE executability
+        point.  A (true-model, false-model) pair from the pool is a full
+        MAYBE certificate, so the stored verdict replays exactly what
+        the ungated path would recompute."""
+        if verdict != MAYBE or not term.is_bool:
+            return
+        pair = self._pool_pair(point.pid, term, boolean=True, query_engine=query_engine)
+        if pair is None:
+            return
+        from repro.engine.queries import PointVerdict
+
+        frozen = PointVerdict(point.pid, point.kind, executability=MAYBE)
+        self._store(point, term, frozen, pair[0], pair[1])
+        self.stats.lazy_harvests += 1
 
     def _store(
         self, point, term, verdict, pos_model, neg_model,
@@ -567,6 +770,8 @@ class VerdictGate:
                 fp_neg=fp_neg,
             ),
         )
+        self._feed_pool(pos_keys, pos_model)
+        self._feed_pool(neg_keys, neg_model)
 
     # -- stats ----------------------------------------------------------------
 
@@ -580,6 +785,7 @@ class VerdictGate:
             stats.fdd_fast_inserts += fdd.fast_ops
             stats.fdd_rebuilds += fdd.rebuilds
             stats.fdd_opaque += 1 if fdd._opaque else 0
+            stats.fdd_banded += 1 if fdd._banded else 0
         return stats
 
     # -- batch-worker forking -------------------------------------------------
@@ -602,6 +808,17 @@ class VerdictGate:
         # the one worker owning its conflict group, and the counter only
         # steers hunt effort, never a verdict.
         fork._hunt_failures = self._hunt_failures
+        fork._lazy_attempts = self._lazy_attempts
+        fork._lazy_failures = self._lazy_failures
+        # The 2b pool is copied, not shared: workers feed it while other
+        # workers iterate buckets, and a shared dict would race.  Worker
+        # contributions are deliberately not merged back — the pool only
+        # steers lazy-harvest effort, never a verdict.  Seed attempts are
+        # copied for the same reason: a worker marking a table as seeded
+        # must not stop the main gate from seeding its own bucket.
+        fork._pool = {name: dict(bucket) for name, bucket in self._pool.items()}
+        fork._pool_version = self._pool_version
+        fork._seed_attempts = dict(self._seed_attempts)
         fork._deps = self._deps
         return fork
 
@@ -724,19 +941,21 @@ class VerdictGate:
         for pid, blob in records:
             if blob is None:
                 continue
-            self._records.set(
-                pid,
-                WitnessRecord(
-                    verdict=blob["verdict"],
-                    term=arena.decode(blob["term"]),
-                    pos_model=_ZeroDefault(blob["pos_model"]),
-                    neg_model=_ZeroDefault(blob["neg_model"]),
-                    pos_keys=blob["pos_keys"],
-                    neg_keys=blob["neg_keys"],
-                    fp_pos=self._intern_fingerprint(pid, blob["fp_pos"]),
-                    fp_neg=self._intern_fingerprint(pid, blob["fp_neg"]),
-                ),
+            record = WitnessRecord(
+                verdict=blob["verdict"],
+                term=arena.decode(blob["term"]),
+                pos_model=_ZeroDefault(blob["pos_model"]),
+                neg_model=_ZeroDefault(blob["neg_model"]),
+                pos_keys=blob["pos_keys"],
+                neg_keys=blob["neg_keys"],
+                fp_pos=self._intern_fingerprint(pid, blob["fp_pos"]),
+                fp_neg=self._intern_fingerprint(pid, blob["fp_neg"]),
             )
+            self._records.set(pid, record)
+            # Re-seed the 2b pool so record-less points keep their lazy
+            # harvest chances across a snapshot round-trip.
+            self._feed_pool(record.pos_keys, record.pos_model)
+            self._feed_pool(record.neg_keys, record.neg_model)
             restored += 1
         if hunt_failures is not None:
             self._hunt_failures = dict(hunt_failures)

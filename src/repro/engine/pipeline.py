@@ -241,6 +241,7 @@ class AnalysisPass:
             use_solver=options.use_solver,
             solver_node_budget=ctx.solver_budget.node_budget,
             gate=ctx.gate,
+            table_verdict_cache=options.table_verdict_cache,
         )
         ctx.query_engine.solver.max_conflicts = ctx.solver_budget.max_conflicts
         ctx.query_engine.solver.incremental = options.incremental_solver

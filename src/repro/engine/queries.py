@@ -16,6 +16,7 @@ verdicts.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -93,6 +94,10 @@ class QueryEngine:
     DEFAULT_MAX_CONFLICTS = 20_000
     #: Legacy alias from when the budget was counted in DPLL decisions.
     DEFAULT_MAX_DECISIONS = DEFAULT_MAX_CONFLICTS
+    #: Table-verdict memo size guard: overflow clears the memo outright
+    #: (the memo re-warms in one pass; an eviction policy is not worth
+    #: the bookkeeping at this size).
+    MAX_TABLE_VERDICT_MEMO = 4096
 
     def __init__(
         self,
@@ -101,6 +106,7 @@ class QueryEngine:
         use_solver: bool = True,
         solver_node_budget: int = 400,
         gate=None,
+        table_verdict_cache: bool = True,
     ) -> None:
         self.model = model
         if solver is None:
@@ -125,6 +131,24 @@ class QueryEngine:
         self.generation = 0
         self._exec_cache: dict[Term, str] = {}
         self._simplify_memo: dict[int, Term] = {}
+        # Structural table-verdict memo.  A precise verdict is a pure
+        # function of (active-entry digest, selector term, hit term):
+        # feasible actions and hit constancy derive from the simplified
+        # selector/hit encodings, const-params and the match plan from the
+        # eclipse-elided active list.  Keying on the digest — NOT the FDD
+        # root — is deliberate: an entry eclipsed jointly by two
+        # higher-precedence entries is invisible in the diagram but still
+        # in the active list... and conversely a live-but-union-eclipsed
+        # entry contributes const-param values while leaving no distinct
+        # FDD leaf.  ``entry_count`` is the one field outside the key's
+        # span; hits patch it from the current assignment.
+        self.table_verdict_cache = table_verdict_cache
+        self.table_verdict_counter = CacheCounter("table-verdict")
+        self._table_verdict_memo: dict = {}
+        # ``_possible_values`` memo, id-keyed over interned selector terms
+        # (same lifetime discipline as ``_simplify_memo``: the simplify
+        # memo holds the selector alive, both clear together).
+        self._values_memo: dict[int, Optional[set]] = {}
 
     @property
     def simplify_memo(self) -> dict[int, Term]:
@@ -137,6 +161,9 @@ class QueryEngine:
         self.exec_counter.invalidate(len(self._exec_cache))
         self._exec_cache.clear()
         self._simplify_memo.clear()
+        self.table_verdict_counter.invalidate(len(self._table_verdict_memo))
+        self._table_verdict_memo.clear()
+        self._values_memo.clear()
         self.solver.invalidate_caches()
 
     # -- per-point queries ----------------------------------------------------
@@ -207,6 +234,45 @@ class QueryEngine:
         assignment: TableAssignment,
         state: TableState,
     ) -> TableVerdict:
+        if not self.table_verdict_cache:
+            return self._table_verdict_uncached(info, assignment, state)
+        if assignment.overapproximated:
+            # Every field of an overapproximated verdict except
+            # ``entry_count`` is a constant of the table's shape.
+            key: tuple = (info.name, "overapprox")
+        else:
+            key = (
+                info.name,
+                state.structural_digest(),
+                id(assignment.mapping[info.selector_var]),
+                id(assignment.mapping[info.hit_var]),
+            )
+        gate = self.gate
+        cached = self._table_verdict_memo.get(key)
+        if cached is not None:
+            self.table_verdict_counter.hit()
+            if gate is not None:
+                gate.stats.table_verdict_hits += 1
+            if cached.entry_count != assignment.entry_count:
+                cached = dataclasses.replace(
+                    cached, entry_count=assignment.entry_count
+                )
+            return cached
+        self.table_verdict_counter.miss()
+        if gate is not None:
+            gate.stats.table_verdict_misses += 1
+        verdict = self._table_verdict_uncached(info, assignment, state)
+        if len(self._table_verdict_memo) >= self.MAX_TABLE_VERDICT_MEMO:
+            self._table_verdict_memo.clear()
+        self._table_verdict_memo[key] = verdict
+        return verdict
+
+    def _table_verdict_uncached(
+        self,
+        info: TableInfo,
+        assignment: TableAssignment,
+        state: TableState,
+    ) -> TableVerdict:
         if assignment.overapproximated:
             # "*any*": every action and parameter value is presumed covered,
             # so every parameter is non-constant — phrased the same way the
@@ -228,7 +294,7 @@ class QueryEngine:
                 overapproximated=True,
             )
         selector = simplify(assignment.mapping[info.selector_var], memo=self._simplify_memo)
-        codes = _possible_values(selector)
+        codes = self._selector_values(selector)
         code_to_action = {code: name for name, code in info.action_codes.items()}
         if codes is None:
             feasible = frozenset(info.action_codes)
@@ -277,6 +343,20 @@ class QueryEngine:
             entry_count=assignment.entry_count,
             overapproximated=False,
         )
+
+    def _selector_values(self, selector: Term) -> Optional[set]:
+        """Memoized ``_possible_values`` over hash-consed selector terms.
+
+        ``None`` (unbounded) is a valid, memoizable answer, hence the
+        containment check rather than ``.get``.
+        """
+        key = id(selector)
+        memo = self._values_memo
+        if key in memo:
+            return memo[key]
+        codes = _possible_values(selector)
+        memo[key] = codes
+        return codes
 
     @staticmethod
     def _match_plan(info: TableInfo, state: TableState) -> tuple:

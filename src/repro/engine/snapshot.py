@@ -159,11 +159,24 @@ def apply_snapshot(ctx, blob: dict) -> dict:
     ctx.point_verdicts.update(blob["point_verdicts"])
     ctx.table_verdicts.update(blob["table_verdicts"])
     ctx.recompilations = blob["recompilations"]
+    # 8. Re-prime the table-verdict memo.  The memo itself cannot ride in
+    #    the blob (its keys embed term identities), but the re-derived
+    #    assignments are identical hash-consed terms to what the warm path
+    #    will look up, so one uncached pass here rebuilds every entry the
+    #    snapshotted engine had.
+    primed = 0
+    if ctx.query_engine.table_verdict_cache:
+        for name, info in ctx.model.tables.items():
+            ctx.query_engine.table_verdict(
+                info, ctx.table_assignments[name], ctx.state.tables[name]
+            )
+            primed += 1
     return {
         "memo_entries": memo_entries,
         "learned_clauses": len(session.sat._learned),
         "witness_records": witness_records,
         "replayed_roots": replayed_roots,
+        "table_verdicts_primed": primed,
     }
 
 

@@ -21,8 +21,9 @@ second one adopts the first one's donation instead of recomputing.
 What is **never** shared: :class:`~repro.runtime.semantics.ControlPlaneState`
 (per-switch entries), the :class:`~repro.smt.substitute.DeltaSubstitution`
 (per-switch control-plane mapping), the verdict gate (its FDDs mirror
-per-switch tables), per-switch verdict dicts after the first update, and
-all stats/counters.  Sharing is sound under serialized access — the
+per-switch tables), the table-verdict memo (keyed on per-switch
+active-entry digests), per-switch verdict dicts after the first update,
+and all stats/counters.  Sharing is sound under serialized access — the
 fleet simulator is a single-threaded discrete-event loop.
 """
 
@@ -48,6 +49,7 @@ COLD_KEY_FIELDS = (
     "solver_node_budget",
     "incremental_solver",
     "fdd_gate",
+    "table_verdict_cache",
 )
 
 

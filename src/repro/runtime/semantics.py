@@ -88,15 +88,39 @@ class TableState:
         # Optional match-space decision diagram (smt/fdd.py), attached by
         # the verdict gate and maintained through :meth:`apply`/:meth:`clear`.
         self.fdd = None
+        # Monotone content revision: bumped by every successful apply()
+        # and clear().  Structural caches (the table-verdict memo, the
+        # gate's lazy-harvest retry signature) key on it to observe
+        # content changes without hashing entries per query.
+        self._revision = 0
+        self._digest_revision = -1
+        self._digest: tuple = ()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def revision(self) -> int:
+        return self._revision
+
+    def structural_digest(self) -> tuple:
+        """The active-entry tuple, memoized per revision.
+
+        This is the structural identity the table-verdict memo keys on:
+        two states with equal digests produce identical selector/hit
+        encodings and identical const-param analyses (both are functions
+        of the eclipse-elided active list alone).
+        """
+        if self._digest_revision != self._revision:
+            self._digest = tuple(self.active_entries())
+            self._digest_revision = self._revision
+        return self._digest
 
     def entries(self) -> list[TableEntry]:
         return list(self._entries.values())
 
     def apply(self, op: str, entry: TableEntry) -> None:
         self._apply_op(op, entry)
+        self._revision += 1
         fdd = self.fdd
         if fdd is None:
             return
@@ -164,6 +188,7 @@ class TableState:
         self._active = []
         self._n_ternary = 0
         self._n_lpm = 0
+        self._revision += 1
         if self.fdd is not None:
             self.fdd.reset()
 

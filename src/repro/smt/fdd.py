@@ -25,11 +25,28 @@ like the ite chains :func:`repro.runtime.semantics.encode_table` folds
 (same entry list, same direction).
 
 Ternary masks with many free bits interleaved among cared bits explode
-the interval decomposition; past :data:`MAX_INTERVALS` intervals for one
-match (or :data:`MAX_ENTRIES` active entries) the diagram declares
-itself *opaque* (``root() is None``) and callers fall back to their slow
-path.  Opacity is per rebuild, not permanent: deleting the offending
-entry brings the diagram back.
+the interval decomposition.  Such an entry no longer makes the whole
+diagram opaque: only that entry degrades, into an **opaque interior
+band** (:class:`FddBand`) — its decomposable keys are still painted as
+precise intervals, and on the undecomposable keys the band covers the
+full domain and wraps whatever decision sits underneath, so every other
+entry (and every other key of *this* entry) keeps its interval diagram.
+Point lookups through a band stay **exact**: deciding whether one
+concrete key point matches a ``value``/``mask`` pair is trivial — only
+the region's interval decomposition blew up — so :meth:`TableFdd.lookup`
+tests the band's entry against the point and either returns that entry's
+interned leaf or falls through to the wrapped decision.  First-match
+precedence is preserved structurally: entries are painted in reverse
+precedence order, a higher-precedence precise entry overwrites the band
+in its exact region, and a higher-precedence fuzzy entry shades another
+band on top.  Only *region* queries (:meth:`TableFdd.fast_insert`'s
+disjointness probe) treat a band as an unknown decision and decline.
+
+Only the hard caps make a diagram fully opaque now (``root() is None``):
+more than :data:`MAX_ENTRIES` active entries, or more than
+:data:`MAX_BANDS` band-degraded entries in one rebuild.  Opacity is per
+rebuild, not permanent: deleting the offending entries brings the
+diagram back.
 """
 
 from __future__ import annotations
@@ -43,6 +60,11 @@ MAX_INTERVALS = 256
 #: Active-entry cap per rebuild; beyond this the table is overapproximated
 #: upstream anyway, so a precise diagram would never be consulted.
 MAX_ENTRIES = 2048
+#: Band-degraded entries tolerated per rebuild.  Each band on a lookup
+#: path costs one mask test; a table where *most* entries are wild would
+#: pay a linear scan per lookup, so past this many the diagram goes fully
+#: opaque instead.
+MAX_BANDS = 64
 
 
 class FddLeaf:
@@ -88,6 +110,36 @@ class FddNode:
 
     def __repr__(self) -> str:
         return f"FddNode(k{self.index}, {len(self.edges)} edges)"
+
+
+class FddBand:
+    """Opaque interior band: one undecomposable entry shading a region.
+
+    ``key`` is the entry's canonical content — ``(action, args,
+    ((value, mask), ...))`` with one normalised value/mask pair per match
+    key — and ``child`` is the decision underneath (a leaf or another
+    band, never an interior node: bands are painted at terminal
+    positions only).  A point covered by the band resolves to the
+    band's entry when the point matches every value/mask pair, else to
+    ``child``'s decision.  Interned per :class:`TableFdd` on
+    ``(key, id(child))``; compare with ``is``.
+    """
+
+    __slots__ = ("key", "child")
+
+    def __init__(self, key: tuple, child) -> None:
+        self.key = key
+        self.child = child
+
+    def matches(self, key_values) -> bool:
+        """Exact point membership in the entry's true match region."""
+        return all(
+            point & mask == value
+            for point, (value, mask) in zip(key_values, self.key[2])
+        )
+
+    def __repr__(self) -> str:
+        return f"FddBand({self.key[0]}{self.key[1]} over {self.child!r})"
 
 
 def mask_intervals(value: int, mask: int, width: int) -> Optional[list]:
@@ -137,10 +189,12 @@ class TableFdd:
         self.widths = list(widths)
         self._leaves: dict = {}
         self._nodes: dict = {}
+        self._bands: dict = {}
         self.miss = self.leaf(None, ())
         self._root = self.miss  # empty table: MISS everywhere
         self._dirty = False
         self._opaque = False
+        self._banded = False
         # Maintenance counters (surfaced through GateStats).
         self.fast_ops = 0
         self.rebuilds = 0
@@ -172,6 +226,14 @@ class TableFdd:
             self._nodes[key] = found
         return found
 
+    def band(self, key: tuple, child) -> FddBand:
+        ikey = (key, id(child))
+        found = self._bands.get(ikey)
+        if found is None:
+            found = FddBand(key, child)
+            self._bands[ikey] = found
+        return found
+
     # -- state-change notifications ------------------------------------------
 
     def fast_insert(self, cubes: list, leaf: FddLeaf) -> bool:
@@ -200,6 +262,7 @@ class TableFdd:
         self._root = self.miss
         self._dirty = False
         self._opaque = False
+        self._banded = False
 
     # -- building ------------------------------------------------------------
 
@@ -216,23 +279,60 @@ class TableFdd:
             cubes.append(intervals)
         return cubes
 
+    def entry_cubes_degraded(self, entry) -> tuple:
+        """``(cubes, fuzzy)``: like :meth:`entry_cubes`, but an
+        undecomposable key gets the full-domain interval (the region is
+        *overapproximated* on that key) and ``fuzzy`` flips True."""
+        from repro.runtime.entries import as_value_mask
+
+        cubes: list = []
+        fuzzy = False
+        for match, width in zip(entry.matches, self.widths):
+            value, mask = as_value_mask(match, width)
+            intervals = mask_intervals(value, mask, width)
+            if intervals is None:
+                intervals = [(0, (1 << width) - 1)]
+                fuzzy = True
+            cubes.append(intervals)
+        return cubes, fuzzy
+
+    def entry_band_key(self, entry) -> tuple:
+        """The canonical content key a band carries for ``entry``."""
+        from repro.runtime.entries import as_value_mask
+
+        pairs: list = []
+        for match, width in zip(entry.matches, self.widths):
+            value, mask = as_value_mask(match, width)
+            mask &= (1 << width) - 1
+            pairs.append((value & mask, mask))
+        return (entry.action, entry.args, tuple(pairs))
+
     def rebuild(self, active_entries: list) -> None:
         """Recompute the diagram from the eclipse-elided active list."""
         self.rebuilds += 1
         self._dirty = False
         self._opaque = False
+        self._banded = False
         if len(active_entries) > MAX_ENTRIES:
             self._root = None
             self._opaque = True
             return
         root = self.miss
+        bands = 0
         for entry in reversed(active_entries):
-            cubes = self.entry_cubes(entry)
-            if cubes is None:
-                self._root = None
-                self._opaque = True
-                return
-            root = self.overwrite(root, cubes, self.leaf(entry.action, entry.args))
+            cubes, fuzzy = self.entry_cubes_degraded(entry)
+            if fuzzy:
+                bands += 1
+                if bands > MAX_BANDS:
+                    self._root = None
+                    self._opaque = True
+                    return
+                root = self.shade(root, cubes, self.entry_band_key(entry))
+            else:
+                root = self.overwrite(
+                    root, cubes, self.leaf(entry.action, entry.args)
+                )
+        self._banded = bands > 0
         self._root = root
 
     def root(self, state=None):
@@ -249,8 +349,26 @@ class TableFdd:
 
     def overwrite(self, node, cubes: list, leaf: FddLeaf, index: int = 0):
         """Paint the region described by ``cubes[index:]`` with ``leaf``."""
+        return self._paint(node, cubes, lambda _old: leaf, index)
+
+    def shade(self, node, cubes: list, key: tuple, index: int = 0):
+        """Wrap every terminal in the region in a band carrying ``key``.
+
+        Used for fuzzy entries: the region is the entry's match-region
+        *overapproximation*, and the band keeps the decision underneath
+        reachable for points the entry doesn't actually match.
+        """
+        return self._paint(node, cubes, lambda old: self.band(key, old), index)
+
+    def _paint(self, node, cubes: list, terminal, index: int):
+        """Apply ``terminal`` to every decision inside the ``cubes`` region.
+
+        At ``index == len(cubes)`` every interior key has been traversed,
+        so ``node`` is a terminal (leaf or band) — ``terminal`` maps it to
+        its replacement.
+        """
         if index == len(cubes):
-            return leaf
+            return terminal(node)
         intervals = cubes[index]
         full = (1 << self.widths[index]) - 1
         if intervals == [(0, full)]:
@@ -259,23 +377,23 @@ class TableFdd:
                 return self.node(
                     index,
                     [
-                        (hi, self.overwrite(child, cubes, leaf, index + 1))
+                        (hi, self._paint(child, cubes, terminal, index + 1))
                         for hi, child in node.edges
                     ],
                 )
-            return self.overwrite(node, cubes, leaf, index + 1)
+            return self._paint(node, cubes, terminal, index + 1)
         if isinstance(node, FddNode) and node.index == index:
             return self.node(
-                index, self._overwrite_edges(node.edges, intervals, cubes, leaf, index)
+                index, self._paint_edges(node.edges, intervals, cubes, terminal, index)
             )
         # ``node`` ignores this key: manufacture a node splitting on it.
         base_edges = [(full, node)]
         return self.node(
-            index, self._overwrite_edges(base_edges, intervals, cubes, leaf, index)
+            index, self._paint_edges(base_edges, intervals, cubes, terminal, index)
         )
 
-    def _overwrite_edges(
-        self, edges, intervals: list, cubes: list, leaf: FddLeaf, index: int
+    def _paint_edges(
+        self, edges, intervals: list, cubes: list, terminal, index: int
     ) -> list:
         """Split ``edges`` on ``intervals``; inside them recurse, outside keep."""
         out: list = []
@@ -290,7 +408,7 @@ class TableFdd:
                 if ilo > seg_lo:
                     out.append((ilo - 1, child))
                 out.append(
-                    (ihi_clamped, self.overwrite(child, cubes, leaf, index + 1))
+                    (ihi_clamped, self._paint(child, cubes, terminal, index + 1))
                 )
                 seg_lo = ihi_clamped + 1
                 if ihi <= hi:
@@ -305,12 +423,23 @@ class TableFdd:
     # -- queries -------------------------------------------------------------
 
     def lookup(self, key_values) -> Optional[FddLeaf]:
-        """The winning leaf at one concrete key point; None while opaque."""
+        """The winning leaf at one concrete key point; None while opaque.
+
+        Exact even through bands: a band's entry either matches the
+        point (trivial value/mask test — only the *interval* form of the
+        region blew up) and wins, or the point falls through to the
+        wrapped decision.
+        """
         node = self._root
         if node is None or self._dirty:
             return None
-        while isinstance(node, FddNode):
-            node = node.child_at(key_values[node.index])
+        while not isinstance(node, FddLeaf):
+            if isinstance(node, FddNode):
+                node = node.child_at(key_values[node.index])
+            elif node.matches(key_values):
+                return self.leaf(node.key[0], node.key[1])
+            else:
+                node = node.child
         return node
 
     def _region_decisions(self, cubes: list, node=None) -> set:
@@ -321,7 +450,11 @@ class TableFdd:
         stack = [node]
         while stack:
             node = stack.pop()
-            if isinstance(node, FddLeaf):
+            if not isinstance(node, FddNode):
+                # Region membership can't see through a band (that's the
+                # part that blew up), so a band counts as an unknown
+                # decision — never equal to {miss}, so fast_insert
+                # declines and the caller rebuilds.
                 out.add(node)
                 continue
             intervals = cubes[node.index]
@@ -348,6 +481,18 @@ class TableFdd:
                 assert self._leaves.get((current.action, current.args)) is current, (
                     "leaf not interned"
                 )
+                continue
+            if isinstance(current, FddBand):
+                assert self._bands.get((current.key, id(current.child))) is current, (
+                    "band not interned"
+                )
+                assert not isinstance(current.child, FddNode), (
+                    "band over an interior node"
+                )
+                assert len(current.key[2]) == len(self.widths), (
+                    "band key arity mismatch"
+                )
+                stack.append((current.child, min_index))
                 continue
             assert current.index > min_index, "key order violated"
             assert current.index < len(self.widths), "key index out of range"
@@ -386,8 +531,10 @@ class TableFdd:
 
 
 __all__ = [
+    "FddBand",
     "FddLeaf",
     "FddNode",
+    "MAX_BANDS",
     "MAX_ENTRIES",
     "MAX_INTERVALS",
     "TableFdd",

@@ -294,3 +294,78 @@ def test_zero_default_reads_absent_variables_as_zero():
     model = _ZeroDefault({"x": 5})
     assert model["x"] == 5
     assert model["never_assigned"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Hunt retirement → tier-2b pool harvest (the monster-term escape hatch)
+# ---------------------------------------------------------------------------
+
+
+class TestHuntRetirement:
+    def retire_a_value_point(self, flay):
+        """Warm up, pick a non-constant value point, and hunt-retire it."""
+        flay.process_update(insert_ta(1, 7))
+        flay.process_update(insert_ta(2, 9))  # setn's param is now non-constant
+        gate = flay.runtime.gate
+        pid = next(
+            pid
+            for pid, r in gate._records.map.items()
+            if r.verdict.executability is None
+            and not r.verdict.is_constant
+            and "C.ta" in gate._deps[pid][0]
+        )
+        gate._records.drop(pid)
+        gate._hunt_failures[pid] = gate.HUNT_RETRY_LIMIT
+        gate._lazy_attempts.pop(pid, None)
+        return gate, pid
+
+    def test_retired_point_becomes_screenable_via_pool_harvest(self):
+        """A point that exhausted HUNT_RETRY_LIMIT must not pay the slow
+        path on every subsequent re-verdict: the next warm touch borrows
+        pooled tier-2b witness models, re-stores a record, and later
+        re-verdicts replay from the fingerprint again."""
+        flay = make_flay()
+        gate, pid = self.retire_a_value_point(flay)
+        before = flay.gate_stats()
+        flay.process_update(insert_ta(3, 11))  # re-verdicts the retired point
+        delta = flay.gate_stats().since(before)
+        assert delta.lazy_harvests >= 1
+        record = gate._records.get(pid)
+        assert record is not None, "pool harvest should restore the record"
+        # The borrowed pair is a real non-constancy certificate.
+        import repro.smt.terms as T
+
+        assert T.evaluate(record.term, record.pos_model) != T.evaluate(
+            record.term, record.neg_model
+        )
+        # The point stays hunt-retired (no probe-pattern hunts resume) …
+        assert gate._hunt_failures.get(pid, 0) >= gate.HUNT_RETRY_LIMIT
+        # … yet the *next* disjoint insert screens it from the fingerprint.
+        before = flay.gate_stats()
+        flay.process_update(insert_ta(200, 7))
+        assert flay.gate_stats().since(before).witness_hits >= 1
+
+    def test_lazy_attempts_are_gated_per_pool_signature(self):
+        """A failed borrow is not retried until the pool or a dependency
+        table actually changes (the once-per-growth signature gate)."""
+        flay = make_flay()
+        gate, pid = self.retire_a_value_point(flay)
+        # Empty the pool so the borrow must fail.
+        gate._pool.clear()
+        gate._seed_attempts.clear()
+        point = flay.runtime.ctx.model.points[pid]
+        term = gate._records.get(pid).term if gate._records.get(pid) else None
+        assert term is None  # record was dropped by retirement
+        qe = flay.runtime.ctx.query_engine
+        # Use a term the pool's zero-default models cannot distinguish.
+        import repro.smt.terms as T
+
+        constantish = T.data_var("tgate_probe", 8)
+        qe.use_solver = False  # block entry-directed seeding
+        assert gate._pool_pair(pid, constantish, False, qe) is None
+        failures = gate._lazy_failures.get(pid, 0)
+        attempts = dict(gate._lazy_attempts)
+        # Same signature → the retry is refused without another attempt.
+        assert gate._pool_pair(pid, constantish, False, qe) is None
+        assert gate._lazy_failures.get(pid, 0) == failures
+        assert dict(gate._lazy_attempts) == attempts

@@ -172,6 +172,7 @@ class TestPipelineCacheStats:
         assert names == [
             "substitution",
             "executability",
+            "table-verdict",
             "solver-memo",
             "cnf-fragments",
             "active-entries",

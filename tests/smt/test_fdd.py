@@ -25,6 +25,7 @@ from repro.runtime.entries import (
 from repro.runtime.semantics import INSERT, TableState
 from repro.smt import terms as T
 from repro.smt.fdd import (
+    MAX_BANDS,
     MAX_ENTRIES,
     FddNode,
     TableFdd,
@@ -248,11 +249,80 @@ def test_opaque_on_entry_overflow():
     assert fdd.lookup((0,)) is None
 
 
-def test_opaque_on_uncubeable_entry():
-    # Caring about only the low bit of a wide key explodes the intervals.
+def test_uncubeable_entry_degrades_to_band_not_opaque():
+    # Caring about only the low bit of a wide key explodes the interval
+    # decomposition — the entry degrades to an opaque band, but point
+    # lookups stay exact (membership vs a value/mask pair is trivial).
     fdd = TableFdd((48,))
     fdd.rebuild([TableEntry((TernaryMatch(0, 1),), "hit_a", (), 0)])
+    assert fdd.root() is not None
+    assert fdd._banded
+    fdd.check_invariants()
+    assert winner_from_leaf(fdd.lookup((4,))) == ("hit_a", ())  # even → match
+    assert fdd.lookup((5,)).is_miss  # odd → falls through the band
+
+
+def test_band_first_match_wins_with_one_key_opaque():
+    """One wild key degrades; the other keys keep interval precision and
+    the diagram still resolves every point to its first-match winner."""
+    info = make_table(["exact", "ternary"], [8, 48])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    # Low precedence: wild second key (undecomposable: cares low bit only).
+    state.apply(INSERT, TableEntry((ExactMatch(3), TernaryMatch(0, 1)), "hit_a", (), 1))
+    # High precedence: precise on both keys, overlapping the band region.
+    state.apply(INSERT, TableEntry((ExactMatch(3), TernaryMatch(6, (1 << 48) - 1)), "hit_b", (), 9))
+    assert fdd.root(state) is not None
+    fdd.check_invariants()
+    for keys in [(3, 6), (3, 4), (3, 5), (2, 6), (3, 0), (0, 0)]:
+        assert winner_from_leaf(fdd.lookup(keys)) == reference_winner(
+            state, keys
+        ), keys
+
+
+def test_band_interning_and_identity_across_rebuilds():
+    fdd = TableFdd((48,))
+    entry = TableEntry((TernaryMatch(0, 1),), "hit_a", (), 0)
+    fdd.rebuild([entry])
+    root_one = fdd.root()
+    hit_one = fdd.lookup((2,))
+    fdd.mark_dirty()
+    fdd.rebuild([entry])
+    assert fdd.root() is root_one  # band interned on (entry content, child id)
+    assert fdd.lookup((2,)) is hit_one  # resolved leaf interned too
+
+
+def test_band_insert_path_marks_dirty_then_rebuilds():
+    info = make_table(["ternary"], [48])
+    state = TableState(info)
+    fdd = TableFdd(info.key_widths())
+    state.fdd = fdd
+    fdd.root(state)
+    state.apply(INSERT, TableEntry((TernaryMatch(0xFF, (1 << 48) - 1),), "hit_a", (), 1))
+    assert fdd.fast_ops == 1
+    # Undecomposable insert can't use the fast path: dirty → banded rebuild.
+    state.apply(INSERT, TableEntry((TernaryMatch(1, 1),), "hit_b", (), 2))
+    assert fdd._dirty
+    assert fdd.root(state) is not None
+    assert fdd._banded
+    fdd.check_invariants()
+    for keys in [(0xFF,), (1,), (3,), (2,), (0,)]:
+        assert winner_from_leaf(fdd.lookup(keys)) == reference_winner(
+            state, keys
+        ), keys
+
+
+def test_opaque_past_max_bands():
+    fdd = TableFdd((48,))
+    entries = [
+        # Distinct wild masks (two low cared bits, varied values).
+        TableEntry((TernaryMatch(i & 3, 3),), "hit_a", (i,), i)
+        for i in range(MAX_BANDS + 1)
+    ]
+    fdd.rebuild(entries)
     assert fdd.root() is None
+    assert fdd.lookup((0,)) is None
 
 
 # ---------------------------------------------------------------------------

@@ -101,8 +101,10 @@ class TestCommittedArtifacts:
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_bench6_scion_floor_is_tracked(self):
-        # ISSUE 9 satellite: the ≈0.78× scion gate ratio is a pinned,
-        # floored measurement — not an untracked curiosity.
+        # ISSUE 10 tentpole: the scion gate ratio is now a *win* (the
+        # lazy 2b pool + table-verdict memo closed the old ≈0.78× gap),
+        # and the committed floor pins it as one — a regression back
+        # toward neutral cannot land silently.
         data = json.loads((REPO / "BENCH_6.json").read_text())
-        assert data["scion_verdict_speedup_floor"] == 0.6
+        assert data["scion_verdict_speedup_floor"] == 1.2
         assert data["scion_verdict_speedup"] >= data["scion_verdict_speedup_floor"]

@@ -37,10 +37,22 @@ SPECS = {
             "switch_verdict_speedup_floor",
             "switch_solver_free_rate",
             "switch_solver_free_rate_floor",
+            "switch_witness_harvested",
+            "switch_witness_harvested_warmup",
+            "switch_lazy_harvested",
+            "switch_lazy_harvested_warmup",
+            "switch_table_verdict_hits",
+            "switch_table_verdict_misses",
             "scion_gated_verdict_ms",
             "scion_ungated_verdict_ms",
             "scion_verdict_speedup",
             "scion_verdict_speedup_floor",
+            "scion_witness_harvested",
+            "scion_witness_harvested_warmup",
+            "scion_lazy_harvested",
+            "scion_lazy_harvested_warmup",
+            "scion_table_verdict_hits",
+            "scion_table_verdict_misses",
         ],
     },
     "BENCH_7.json": {
